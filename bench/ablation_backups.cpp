@@ -1,0 +1,59 @@
+// Ablation: how the number of backup replicas (N, §4.2.2) trades
+// failure-free overhead against failure-recovery coverage.
+//
+// Not a paper figure — DESIGN.md lists replica count as the protocol's
+// main provisioning knob; this quantifies it: attach PCT and checkpoint
+// traffic without failures, plus the Re-Attach rate when a quarter of the
+// CPFs crash mid-run.
+#include "bench_util.hpp"
+
+using namespace neutrino;
+
+int main() {
+  bench::print_header("ablation_backups",
+                      "replica count N: overhead vs coverage",
+                      "n/a (design-choice ablation)");
+  for (const int backups : {0, 1, 2, 3}) {
+    auto policy = core::neutrino_policy();
+    policy.num_backups = backups;
+    if (backups == 0) {
+      policy.sync_mode = core::SyncMode::kNone;
+      policy.recovery = core::RecoveryMode::kReattach;
+    }
+
+    // Failure-free: attach PCT + sync traffic at a moderate load.
+    bench::ExperimentConfig cfg;
+    cfg.policy = policy;
+    cfg.topo.l1_per_l2 = 4;
+    cfg.topo.latency = bench::testbed_latencies();
+    trace::UniformWorkload workload(60e3, SimTime::milliseconds(1000), {},
+                                    /*seed=*/42);
+    const auto t = workload.generate(1'000'000, cfg.topo.total_regions());
+    const auto clean = bench::run_experiment(cfg, t);
+    const auto& pct = clean.metrics.pct[static_cast<std::size_t>(
+        core::ProcedureType::kAttach)];
+
+    // Under failures: crash one CPF per region mid-run.
+    const auto failed = bench::run_experiment(
+        cfg, t, [&](core::System& system, sim::EventLoop& loop) {
+          for (int region = 0; region < cfg.topo.total_regions(); ++region) {
+            const CpfId victim =
+                cfg.topo.cpf_at(static_cast<std::uint32_t>(region), 0);
+            loop.schedule_at(SimTime::milliseconds(500),
+                             [&system, victim] { system.crash_cpf(victim); });
+          }
+        });
+
+    std::printf(
+        "ablation_backups\tN=%d\tattach_p50_ms=%.3f\tcheckpoints=%llu\t"
+        "acks=%llu\tfailure_reattaches=%llu\tfailure_replayed=%llu\t"
+        "ryw_violations=%llu\n",
+        backups, pct.median(),
+        static_cast<unsigned long long>(clean.metrics.checkpoints_sent),
+        static_cast<unsigned long long>(clean.metrics.checkpoint_acks),
+        static_cast<unsigned long long>(failed.metrics.reattaches),
+        static_cast<unsigned long long>(failed.metrics.replays),
+        static_cast<unsigned long long>(failed.metrics.ryw_violations));
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Shared experiment driver for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper's evaluation: it
+// builds the simulated core under each compared policy, replays the
+// figure's workload, and prints the same series the paper plots
+// (tab-separated; percentiles for the box plots). Absolute numbers depend
+// on this machine; the *shape* is the reproduction target (DESIGN.md §5).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/cost_model.hpp"
+#include "core/system.hpp"
+#include "trace/workload.hpp"
+
+namespace neutrino::bench {
+
+/// The real-codec cost model, measured once per bench binary.
+inline const core::MeasuredCostModel& measured_costs() {
+  static const core::MeasuredCostModel model;
+  return model;
+}
+
+/// The paper's testbed runs every core node on two directly-cabled
+/// servers: region boundaries exist logically but add no propagation
+/// delay. The handover/failure/application figures use this profile; the
+/// library defaults model a geographically spread edge deployment.
+inline core::LatencyConfig testbed_latencies() {
+  core::LatencyConfig l;
+  l.intra_l2 = SimTime::microseconds(30);
+  l.inter_l2 = SimTime::microseconds(30);
+  return l;
+}
+
+struct ExperimentResult {
+  core::Metrics metrics;
+  double sim_seconds = 0;
+};
+
+struct ExperimentConfig {
+  core::CorePolicy policy;
+  core::TopologyConfig topo;
+  core::ProtocolConfig proto;
+  /// Pre-attach this many UEs (ids [0, n)) round-robin across regions.
+  std::uint64_t preattached_ues = 0;
+  /// Run this long past the last scheduled arrival.
+  SimTime drain = SimTime::seconds(30);
+};
+
+/// Build a system, replay a trace, run to completion, return the metrics.
+/// `extra_setup(system, loop)` runs before the replay (failure injection);
+/// `post(system)` runs after the loop drains (outage queries etc.).
+template <typename SetupFn, typename PostFn>
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const std::vector<trace::TraceRecord>& t,
+                                SetupFn&& extra_setup, PostFn&& post) {
+  sim::EventLoop loop;
+  core::Metrics metrics;
+  core::System system(loop, cfg.policy, cfg.topo, cfg.proto,
+                      measured_costs(), metrics);
+  const auto regions =
+      static_cast<std::uint32_t>(cfg.topo.total_regions());
+  for (std::uint64_t ue = 0; ue < cfg.preattached_ues; ++ue) {
+    system.frontend().preattach(UeId(ue),
+                                static_cast<std::uint32_t>(ue % regions));
+  }
+  extra_setup(system, loop);
+  trace::replay(system, t);
+  SimTime horizon = cfg.drain;
+  if (!t.empty()) horizon += t.back().at;
+  loop.run_until(horizon);
+  post(system);
+  return {std::move(metrics), horizon.sec()};
+}
+
+template <typename SetupFn>
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const std::vector<trace::TraceRecord>& t,
+                                SetupFn&& extra_setup) {
+  return run_experiment(cfg, t, std::forward<SetupFn>(extra_setup),
+                        [](core::System&) {});
+}
+
+inline ExperimentResult run_experiment(
+    const ExperimentConfig& cfg, const std::vector<trace::TraceRecord>& t) {
+  return run_experiment(cfg, t, [](core::System&, sim::EventLoop&) {},
+                        [](core::System&) {});
+}
+
+/// Print one box-plot row: label, x, then the PCT distribution in ms.
+inline void print_pct_row(const char* figure, std::string_view system_name,
+                          double x, const LatencyRecorder& pct) {
+  if (pct.empty()) {
+    std::printf("%s\t%s\t%.0f\tno-samples\n", figure,
+                std::string(system_name).c_str(), x);
+    return;
+  }
+  std::printf(
+      "%s\t%s\t%.0f\tn=%zu\tp25=%.3f\tp50=%.3f\tp75=%.3f\tp99=%.3f\t"
+      "max=%.3f\n",
+      figure, std::string(system_name).c_str(), x, pct.count(), pct.p25(),
+      pct.median(), pct.p75(), pct.p99(), pct.max());
+}
+
+inline void print_header(const char* figure, const char* title,
+                         const char* paper_claim) {
+  std::printf("# %s — %s\n", figure, title);
+  std::printf("# paper: %s\n", paper_claim);
+}
+
+}  // namespace neutrino::bench

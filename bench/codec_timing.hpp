@@ -1,0 +1,53 @@
+// Shared real-measurement helpers for the serialization figures (18-20).
+//
+// These are *measurements of the real codecs*, not simulations. Each
+// format is exercised the way its applications use it: sequential formats
+// parse into structs; FlatBuffers is consumed through accessors without
+// materialization (see FlatBufAccessor).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+#include "serialize/codec.hpp"
+
+namespace neutrino::bench {
+
+inline std::uint64_t codec_sink = 0;
+
+template <ser::FieldStruct M>
+void encode_decode_once(ser::WireFormat format, const M& msg) {
+  const Bytes encoded = ser::encode(format, msg);
+  codec_sink += encoded.size();
+  if (format == ser::WireFormat::kFlatBuffers ||
+      format == ser::WireFormat::kOptimizedFlatBuffers) {
+    const auto checksum = ser::FlatBufAccessor::access_all<M>(
+        encoded, format == ser::WireFormat::kFlatBuffers
+                     ? ser::FlatBufMode::kStandard
+                     : ser::FlatBufMode::kOptimized);
+    codec_sink += checksum.is_ok() ? *checksum : 0;
+  } else {
+    const auto decoded = ser::decode<M>(format, encoded);
+    codec_sink += decoded.is_ok() ? 1u : 0u;
+  }
+}
+
+/// Best-of-batches encode+decode nanoseconds (rejects scheduler noise).
+template <ser::FieldStruct M>
+double measure_encode_decode_ns(ser::WireFormat format, const M& msg,
+                                int iters = 3000) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < iters / 4; ++i) encode_decode_once(format, msg);
+  double best = 1e18;
+  for (int batch = 0; batch < 5; ++batch) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) encode_decode_once(format, msg);
+    const auto t1 = Clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                        iters);
+  }
+  return best;
+}
+
+}  // namespace neutrino::bench

@@ -1,0 +1,38 @@
+// Fig. 7: service-request PCT vs procedures-per-second, uniform traffic,
+// four systems.
+//
+// Paper: up to 120 KPPS Neutrino is 2.3x / 1.3x / 3.4x better than
+// existing EPC / DPCM / SkyCore; beyond 140 KPPS EPC and SkyCore cannot
+// hold the arrival rate; at 200 KPPS+ everyone saturates but Neutrino
+// stays best.
+#include "bench_util.hpp"
+
+using namespace neutrino;
+
+int main() {
+  bench::print_header(
+      "fig07", "service request PCT, uniform traffic",
+      "Neutrino 2.3x/1.3x/3.4x vs EPC/DPCM/SkyCore; EPC+SkyCore die >140K");
+  const double rates[] = {100e3, 120e3, 140e3, 160e3, 180e3, 200e3, 220e3};
+  const core::CorePolicy policies[] = {
+      core::existing_epc_policy(), core::dpcm_policy(),
+      core::skycore_policy(), core::neutrino_policy()};
+  for (const auto& policy : policies) {
+    for (const double rate : rates) {
+      bench::ExperimentConfig cfg;
+      cfg.policy = policy;
+      const auto population = static_cast<std::uint64_t>(rate * 1.2);
+      cfg.preattached_ues = population;
+      trace::ProcedureMix mix{.service_request = 1.0};
+      trace::UniformWorkload workload(rate, SimTime::milliseconds(1000), mix,
+                                      /*seed=*/42);
+      const auto t = workload.generate(population, cfg.topo.total_regions());
+      const auto result = bench::run_experiment(cfg, t);
+      bench::print_pct_row(
+          "fig07", policy.name, rate,
+          result.metrics.pct[static_cast<std::size_t>(
+              core::ProcedureType::kServiceRequest)]);
+    }
+  }
+  return 0;
+}

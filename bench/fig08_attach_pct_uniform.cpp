@@ -1,0 +1,34 @@
+// Fig. 8: attach PCT vs procedures-per-second, uniform traffic.
+//
+// Paper: Neutrino up to 2.3x better in median PCT below 60 KPPS; existing
+// EPC saturates beyond 60 KPPS while Neutrino holds until ~120 KPPS, where
+// it is up to 3.4x better.
+#include "bench_util.hpp"
+
+using namespace neutrino;
+
+int main() {
+  bench::print_header("fig08", "attach PCT, uniform traffic",
+                      "EPC knee ~60KPPS, Neutrino knee ~120KPPS, 2.3-3.4x");
+  const double rates[] = {40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3};
+  for (const auto& policy :
+       {core::existing_epc_policy(), core::neutrino_policy()}) {
+    for (const double rate : rates) {
+      bench::ExperimentConfig cfg;
+      cfg.policy = policy;
+      // The paper's testbed: one region, five CPF instances.
+      cfg.topo = core::TopologyConfig{};
+      cfg.proto = core::ProtocolConfig{};
+      trace::UniformWorkload workload(rate, SimTime::milliseconds(1500), {},
+                                      /*seed=*/42);
+      const auto t = workload.generate(/*ue_population=*/10'000'000,
+                                       cfg.topo.total_regions());
+      const auto result = bench::run_experiment(cfg, t);
+      bench::print_pct_row(
+          "fig08", policy.name, rate,
+          result.metrics.pct[static_cast<std::size_t>(
+              core::ProcedureType::kAttach)]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fig. 14: deadline misses for a VR application under mobility.
+//
+// Paper (§6.6): head-tracked VR needs <16 ms for perceptual stability [53];
+// single- and multiple-handover scenarios with 10K..500K active users.
+// Neutrino misses up to 2.5x fewer deadlines.
+#include "mobility_app_scenario.hpp"
+
+using namespace neutrino;
+
+int main() {
+  bench::print_header("fig14", "VR deadline misses (16 ms budget)",
+                      "Neutrino up to 2.5x fewer misses");
+  const std::uint64_t counts[] = {10'000,  20'000,  50'000,
+                                  100'000, 200'000, 500'000};
+  bench::run_mobility_app_scenario("fig14", "single-HO",
+                                   apps::DeadlineApp::kVrDeadline(), counts,
+                                   /*handovers=*/1);
+  bench::run_mobility_app_scenario("fig14", "multi-HO",
+                                   apps::DeadlineApp::kVrDeadline(), counts,
+                                   /*handovers=*/8);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 15: effect of the state-synchronization scheme on attach PCT.
+//
+// Paper (§6.7.1): per-message replication has the highest median PCT
+// (frequent state locking for check-pointing); per-procedure replication
+// costs only slightly more than no replication — the trade-off Neutrino
+// picks.
+#include "bench_util.hpp"
+
+using namespace neutrino;
+
+int main() {
+  bench::print_header(
+      "fig15", "attach PCT by state-synchronization scheme",
+      "PerMsg worst; PerProc barely above NoRep");
+  auto no_rep = core::neutrino_policy();
+  no_rep.name = "NoRep";
+  no_rep.sync_mode = core::SyncMode::kNone;
+  no_rep.cta_message_logging = false;
+  no_rep.num_backups = 0;
+  auto per_msg = core::neutrino_policy();
+  per_msg.name = "PerMsgRep";
+  per_msg.sync_mode = core::SyncMode::kPerMessage;
+  auto per_proc = core::neutrino_policy();
+  per_proc.name = "PerProcRep";
+
+  const double rates[] = {20e3, 40e3, 60e3, 80e3, 100e3};
+  for (const auto& policy : {no_rep, per_msg, per_proc}) {
+    for (const double rate : rates) {
+      bench::ExperimentConfig cfg;
+      cfg.policy = policy;
+      trace::UniformWorkload workload(rate, SimTime::milliseconds(1000), {},
+                                      /*seed=*/42);
+      const auto t = workload.generate(static_cast<std::uint64_t>(rate * 2),
+                                       cfg.topo.total_regions());
+      const auto result = bench::run_experiment(cfg, t);
+      bench::print_pct_row(
+          "fig15", policy.name, rate,
+          result.metrics.pct[static_cast<std::size_t>(
+              core::ProcedureType::kAttach)]);
+    }
+  }
+  return 0;
+}

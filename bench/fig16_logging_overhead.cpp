@@ -1,0 +1,35 @@
+// Fig. 16: impact of CTA message logging on attach PCT.
+//
+// Paper (§6.7.2): in-memory logging is fast — its impact on PCT is
+// negligible.
+#include "bench_util.hpp"
+
+using namespace neutrino;
+
+int main() {
+  bench::print_header("fig16", "attach PCT with and without CTA logging",
+                      "logging has negligible PCT impact");
+  auto logging_on = core::neutrino_policy();
+  logging_on.name = "Logging";
+  auto logging_off = core::neutrino_policy();
+  logging_off.name = "NoLogging";
+  logging_off.cta_message_logging = false;
+
+  const double rates[] = {20e3, 40e3, 60e3, 80e3, 100e3, 120e3, 140e3};
+  for (const auto& policy : {logging_on, logging_off}) {
+    for (const double rate : rates) {
+      bench::ExperimentConfig cfg;
+      cfg.policy = policy;
+      trace::UniformWorkload workload(rate, SimTime::milliseconds(1000), {},
+                                      /*seed=*/42);
+      const auto t = workload.generate(static_cast<std::uint64_t>(rate * 2),
+                                       cfg.topo.total_regions());
+      const auto result = bench::run_experiment(cfg, t);
+      bench::print_pct_row(
+          "fig16", policy.name, rate,
+          result.metrics.pct[static_cast<std::size_t>(
+              core::ProcedureType::kAttach)]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 17: maximum CTA log size vs number of active users.
+//
+// Paper (§6.7.3): with per-procedure synchronization the log grows with
+// active users but stays under 400 MB even at 200K users; handover
+// procedures log more than attaches (more/larger messages in flight).
+#include "bench_util.hpp"
+
+using namespace neutrino;
+
+namespace {
+
+std::size_t peak_log_bytes(const core::CorePolicy& policy,
+                           core::ProcedureType type, std::uint64_t users) {
+  bench::ExperimentConfig cfg;
+  cfg.policy = policy;
+  cfg.topo.l1_per_l2 = type == core::ProcedureType::kHandover ? 4 : 1;
+  cfg.preattached_ues = type == core::ProcedureType::kHandover ? users : 0;
+
+  std::vector<trace::TraceRecord> t;
+  t.reserve(users);
+  Rng rng(42);
+  for (std::uint64_t ue = 0; ue < users; ++ue) {
+    trace::TraceRecord rec;
+    // All users act within one second (the paper's highest-pressure case).
+    rec.at = SimTime::nanoseconds(
+        static_cast<std::int64_t>(rng.next_double() * 1e9));
+    rec.ue = UeId(ue);
+    rec.type = type;
+    rec.target_region =
+        type == core::ProcedureType::kHandover
+            ? static_cast<std::uint32_t>((ue + 1) %
+                                         static_cast<std::uint64_t>(
+                                             cfg.topo.total_regions()))
+            : 0;
+    t.push_back(rec);
+  }
+  std::sort(t.begin(), t.end(),
+            [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+              return a.at < b.at;
+            });
+
+  std::size_t peak = 0;
+  const auto result = bench::run_experiment(
+      cfg, t, [&](core::System& system, sim::EventLoop& loop) {
+        // Sample the aggregate log footprint every 5 ms.
+        for (int i = 0; i < 4000; ++i) {
+          loop.schedule_at(SimTime::milliseconds(5) * i,
+                           [&system] { system.sample_log_sizes(); });
+        }
+      },
+      [&](core::System& system) {
+        system.sample_log_sizes();
+        peak = system.metrics().cta_log_peak_bytes;
+      });
+  (void)result;
+  return peak;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("fig17", "maximum CTA log size",
+                      "<400 MB at 200K active users; grows with users");
+  const std::uint64_t user_counts[] = {10'000, 50'000, 100'000, 200'000};
+  for (const auto type :
+       {core::ProcedureType::kAttach, core::ProcedureType::kHandover}) {
+    for (const std::uint64_t users : user_counts) {
+      const std::size_t peak =
+          peak_log_bytes(core::neutrino_policy(), type, users);
+      std::printf("fig17\t%s\t%llu\tpeak_log_mb=%.2f\n",
+                  std::string(to_string(type)).c_str(),
+                  static_cast<unsigned long long>(users),
+                  static_cast<double>(peak) / 1e6);
+    }
+  }
+  return 0;
+}

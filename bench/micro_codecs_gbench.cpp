@@ -1,0 +1,59 @@
+// google-benchmark microbenchmarks over the wire codecs: per-format
+// encode and decode timings on a representative real message. Complements
+// fig18/fig19 (which report the paper's derived speedup series) with
+// statistically-managed raw numbers.
+#include <benchmark/benchmark.h>
+
+#include "s1ap/samples.hpp"
+#include "serialize/codec.hpp"
+
+namespace neutrino {
+namespace {
+
+const s1ap::InitialContextSetupRequest& sample() {
+  static const auto msg = s1ap::samples::initial_context_setup();
+  return msg;
+}
+
+void BM_Encode(benchmark::State& state) {
+  const auto format = static_cast<ser::WireFormat>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ser::encode(format, sample()));
+  }
+  state.SetLabel(std::string(ser::to_string(format)));
+}
+
+void BM_Decode(benchmark::State& state) {
+  const auto format = static_cast<ser::WireFormat>(state.range(0));
+  const Bytes encoded = ser::encode(format, sample());
+  for (auto _ : state) {
+    if (format == ser::WireFormat::kFlatBuffers ||
+        format == ser::WireFormat::kOptimizedFlatBuffers) {
+      auto checksum =
+          ser::FlatBufAccessor::access_all<s1ap::InitialContextSetupRequest>(
+              encoded, format == ser::WireFormat::kFlatBuffers
+                           ? ser::FlatBufMode::kStandard
+                           : ser::FlatBufMode::kOptimized);
+      benchmark::DoNotOptimize(checksum);
+    } else {
+      auto decoded =
+          ser::decode<s1ap::InitialContextSetupRequest>(format, encoded);
+      benchmark::DoNotOptimize(decoded);
+    }
+  }
+  state.SetLabel(std::string(ser::to_string(format)));
+}
+
+void AllFormats(benchmark::internal::Benchmark* b) {
+  for (const auto format : ser::kAllWireFormats) {
+    b->Arg(static_cast<int>(format));
+  }
+}
+
+BENCHMARK(BM_Encode)->Apply(AllFormats);
+BENCHMARK(BM_Decode)->Apply(AllFormats);
+
+}  // namespace
+}  // namespace neutrino
+
+BENCHMARK_MAIN();

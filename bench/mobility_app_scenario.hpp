@@ -1,0 +1,96 @@
+// Shared driver for the §6.6 mobility-application studies (Figs. 13, 14):
+// background signaling load + one observed UE executing handovers; deadline
+// misses derive from the observed UE's data-path outage windows.
+#pragma once
+
+#include <algorithm>
+
+#include "apps/deadline_app.hpp"
+#include "bench_util.hpp"
+#include "trace/mobility.hpp"
+
+namespace neutrino::bench {
+
+inline void run_mobility_app_scenario(const char* figure,
+                                      const char* scenario, SimTime deadline,
+                                      std::span<const std::uint64_t> counts,
+                                      int handovers) {
+  for (const auto& policy :
+       {core::existing_epc_policy(), core::neutrino_policy()}) {
+    for (const std::uint64_t users : counts) {
+      ExperimentConfig cfg;
+      cfg.policy = policy;
+      cfg.topo.l1_per_l2 = 4;
+      cfg.topo.latency = testbed_latencies();
+      cfg.preattached_ues = users + 1;
+      // Background signaling: one service request per active user across
+      // the window (the load mobility competes with).
+      trace::ProcedureMix mix{.service_request = 1.0};
+      // Load runs for the whole drive so every handover competes with it
+      // (the paper's 60 s runs keep load and mobility concurrent).
+      trace::UniformWorkload background(static_cast<double>(users),
+                                        SimTime::milliseconds(6000), mix,
+                                        /*seed=*/42);
+      auto t = background.generate(users, cfg.topo.total_regions());
+
+      std::sort(t.begin(), t.end(),
+                [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+                  return a.at < b.at;
+                });
+
+      // The observed vehicle/headset: UE id `users`. The paper's 5-minute
+      // 60 mph drive (Fig. 12) is time-compressed into the simulated
+      // window; handovers chain back-to-back (a saturated core delays the
+      // next crossing's completion, not its occurrence), alternating
+      // region crossings per the drive model.
+      const UeId observed{users};
+      apps::DeadlineApp app;
+      app.deadline = deadline;
+      app.radio_gap = SimTime::milliseconds(25);  // LTE retune interruption
+      std::uint64_t missed = 0;
+      run_experiment(
+          cfg, t,
+          [&](core::System& system, sim::EventLoop& loop) {
+            // Driver: issue the next handover as soon as the previous one
+            // finished, up to the scenario's count.
+            auto driver = std::make_shared<std::function<void(int)>>();
+            *driver = [&system, &loop, observed, handovers, driver,
+                       regions = cfg.topo.total_regions()](int issued) {
+              if (issued >= handovers) return;
+              system.frontend().start_procedure(
+                  observed,
+                  issued % 4 == 3 ? core::ProcedureType::kIntraHandover
+                                  : core::ProcedureType::kHandover,
+                  static_cast<std::uint32_t>((issued + 1) %
+                                             static_cast<std::uint32_t>(
+                                                 regions)));
+              // Poll for completion, then schedule the next crossing.
+              auto poll = std::make_shared<std::function<void()>>();
+              *poll = [&system, &loop, observed, issued, driver, poll] {
+                if (system.frontend().outages(observed).size() >
+                    static_cast<std::size_t>(issued)) {
+                  loop.schedule_after(SimTime::milliseconds(50),
+                                      [driver, issued] {
+                                        (*driver)(issued + 1);
+                                      });
+                } else {
+                  loop.schedule_after(SimTime::milliseconds(20), *poll);
+                }
+              };
+              loop.schedule_after(SimTime::milliseconds(20), *poll);
+            };
+            loop.schedule_at(SimTime::milliseconds(200),
+                             [driver] { (*driver)(0); });
+          },
+          [&](core::System& system) {
+            missed = app.missed_deadlines(system.frontend().outages(observed));
+          });
+      std::printf("%s\t%s\t%s\t%llu\tmissed=%llu\n", figure, scenario,
+                  std::string(policy.name).c_str(),
+                  static_cast<unsigned long long>(users),
+                  static_cast<unsigned long long>(missed));
+    }
+  }
+}
+
+}  // namespace neutrino::bench

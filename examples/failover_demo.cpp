@@ -1,0 +1,57 @@
+// Failover demo: crash a UE's primary CPF mid-procedure and compare how
+// the existing EPC and Neutrino recover (§4.2.5 failure scenario 2).
+//
+// EPC must tell the UE to Re-Attach (a full authentication + session
+// rebuild); Neutrino's CTA replays the logged messages onto a backup and
+// the UE never notices.
+#include <cstdio>
+
+#include "core/cost_model.hpp"
+#include "core/system.hpp"
+
+using namespace neutrino;
+
+namespace {
+
+void run(const core::CorePolicy& policy) {
+  sim::EventLoop loop;
+  core::Metrics metrics;
+  core::FixedCostModel costs(SimTime::microseconds(10));
+  core::System system(loop, policy, {}, {}, costs, metrics);
+
+  const UeId ue{7};
+  system.frontend().preattach(ue, 0);
+  system.frontend().start_procedure(ue, core::ProcedureType::kServiceRequest);
+
+  // Crash the primary while the request is in flight.
+  const CpfId primary = system.primary_cpf_for(ue, 0);
+  loop.schedule_at(SimTime::microseconds(25),
+                   [&] { system.crash_cpf(primary); });
+  loop.run_until(SimTime::seconds(10));
+
+  const auto& pct =
+      metrics.pct_for(core::ProcedureType::kServiceRequest);
+  std::printf("%-12s crashed CPF %u mid-request:\n",
+              std::string(policy.name).c_str(), primary.value());
+  std::printf("  completed=%llu  PCT=%.3f ms  reattaches=%llu  "
+              "replayed_msgs=%llu  ryw_violations=%llu\n",
+              static_cast<unsigned long long>(metrics.procedures_completed),
+              pct.empty() ? -1.0 : pct.median(),
+              static_cast<unsigned long long>(metrics.reattaches),
+              static_cast<unsigned long long>(metrics.replays),
+              static_cast<unsigned long long>(metrics.ryw_violations));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Recovering a service request from a CPF crash:\n\n");
+  run(core::existing_epc_policy());
+  run(core::neutrino_policy());
+  std::printf(
+      "\nNeutrino completes the interrupted procedure by replaying the\n"
+      "CTA's message log onto a backup CPF — no Re-Attach, far lower PCT,\n"
+      "and Read-your-Writes consistency holds in both designs (the EPC\n"
+      "preserves it by forcing the Re-Attach).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Serialization tour: one real S1AP message through all seven wire
+// formats — sizes, round trips, and the svtable optimization at work.
+#include <cstdio>
+
+#include "s1ap/samples.hpp"
+#include "serialize/codec.hpp"
+
+using namespace neutrino;
+
+int main() {
+  const auto message = s1ap::samples::initial_context_setup();
+  std::printf("InitialContextSetupRequest through every wire format:\n\n");
+  std::printf("%-22s %8s  %s\n", "format", "bytes", "first bytes");
+  for (const auto format : ser::kAllWireFormats) {
+    const Bytes encoded = ser::encode(format, message);
+    auto decoded =
+        ser::decode<s1ap::InitialContextSetupRequest>(format, encoded);
+    const bool ok = decoded.is_ok() && *decoded == message;
+    const std::string prefix = to_hex(
+        BytesView(encoded.data(), std::min<std::size_t>(12, encoded.size())));
+    std::printf("%-22s %8zu  %s...  round-trip %s\n",
+                std::string(ser::to_string(format)).c_str(), encoded.size(),
+                prefix.c_str(), ok ? "ok" : "FAILED");
+  }
+
+  // The svtable optimization (§4.4): a GTP tunnel's transport address is a
+  // union holding a single scalar — standard FlatBuffers must wrap it in a
+  // one-field table (6-byte vtable + 4-byte soffset); Neutrino's svtable
+  // points at the bare value.
+  const auto tunnel = s1ap::samples::tunnel(7);
+  const auto standard =
+      ser::encode(ser::WireFormat::kFlatBuffers, tunnel).size();
+  const auto optimized =
+      ser::encode(ser::WireFormat::kOptimizedFlatBuffers, tunnel).size();
+  std::printf(
+      "\nsvtable on a single-scalar union (GTP tunnel address):\n"
+      "  standard FlatBuffers: %zu bytes, optimized: %zu bytes "
+      "(saves %zu — the paper's 10-byte scalar saving plus padding)\n",
+      standard, optimized, standard - optimized);
+  return 0;
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Render bench_output.txt into per-figure comparison tables.
+
+Usage:  python3 scripts/summarize_bench.py [bench_output.txt]
+
+For the PCT figures it pivots median PCT into an x-by-system table and
+appends the best-vs-EPC ratio, which is the number the paper quotes.
+No third-party dependencies.
+"""
+import re
+import sys
+from collections import defaultdict
+
+
+def parse(path):
+    rows = defaultdict(list)  # figure -> [line fields]
+    for line in open(path):
+        line = line.strip()
+        if not line or line.startswith("#") or "\t" not in line:
+            continue
+        fields = line.split("\t")
+        rows[fields[0]].append(fields[1:])
+    return rows
+
+
+def medians_table(fig, rows):
+    # rows: [system, x, n=..., p25=..., p50=..., ...]
+    table = defaultdict(dict)  # x -> system -> p50
+    systems = []
+    for fields in rows:
+        system, x = fields[0], fields[1]
+        p50 = next((f.split("=")[1] for f in fields if f.startswith("p50=")),
+                   None)
+        if p50 is None:
+            continue
+        if system not in systems:
+            systems.append(system)
+        table[float(x)][system] = float(p50)
+    if not table:
+        return
+    print(f"\n== {fig}: median PCT (ms) ==")
+    print("{:>10} ".format("x") + " ".join(f"{s:>18}" for s in systems) +
+          "  best/EPC-like")
+    baseline = systems[0]
+    for x in sorted(table):
+        cells = table[x]
+        line = f"{x:>10.0f} " + " ".join(
+            f"{cells.get(s, float('nan')):>18.3f}" for s in systems)
+        if baseline in cells:
+            best = min(v for v in cells.values())
+            if best > 0:
+                line += f"  {cells[baseline] / best:>8.1f}x"
+        print(line)
+
+
+def passthrough_table(fig, rows):
+    print(f"\n== {fig} ==")
+    for fields in rows:
+        print("  " + "  ".join(fields))
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    rows = parse(path)
+    for fig in sorted(rows):
+        if any(any(f.startswith("p50=") for f in r) for r in rows[fig]):
+            medians_table(fig, rows[fig])
+        else:
+            passthrough_table(fig, rows[fig])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+// Byte-buffer aliases and small helpers shared by every wire codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace neutrino {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using BytesView = std::span<const Byte>;
+using MutableBytesView = std::span<Byte>;
+
+/// Render a buffer as lowercase hex, for diagnostics and golden tests.
+inline std::string to_hex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (Byte b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace neutrino

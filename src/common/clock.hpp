@@ -1,0 +1,76 @@
+// Simulated time and the CTA's logical clock.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace neutrino {
+
+/// Simulation time in nanoseconds since experiment start.
+///
+/// A plain strong type (not std::chrono) because events need a totally
+/// ordered integral key and benches do arithmetic on it constantly.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime nanoseconds(std::int64_t v) { return SimTime(v); }
+  static constexpr SimTime microseconds(std::int64_t v) {
+    return SimTime(v * 1'000);
+  }
+  static constexpr SimTime milliseconds(std::int64_t v) {
+    return SimTime(v * 1'000'000);
+  }
+  static constexpr SimTime seconds(std::int64_t v) {
+    return SimTime(v * 1'000'000'000);
+  }
+  static constexpr SimTime max() {
+    return SimTime(INT64_MAX);
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  friend constexpr bool operator==(SimTime, SimTime) = default;
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.ns_ << "ns";
+  }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// The CTA stamps every logged control message with a LogicalClock value;
+/// procedure-completion checkpoints carry the clock of the procedure's last
+/// message so replicas and the log agree on where a procedure ends (§4.2.3).
+class LogicalClock {
+ public:
+  using Value = std::uint64_t;
+
+  /// Returns the next strictly-increasing tick.
+  Value tick() { return ++last_; }
+  [[nodiscard]] Value last() const { return last_; }
+
+ private:
+  Value last_ = 0;
+};
+
+}  // namespace neutrino

@@ -1,0 +1,39 @@
+// Stable 64-bit hashing for consistent-hash rings and UE→CPF mapping.
+//
+// std::hash is not stable across implementations; ring placement must be, or
+// the same trace replays differently on different standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace neutrino {
+
+/// FNV-1a, 64-bit.
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Stafford's mix13 finalizer: turns correlated integer keys (sequential UE
+/// ids) into well-distributed ring positions.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combine two hashes (for (node, replica-index) virtual-node keys).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace neutrino

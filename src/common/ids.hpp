@@ -1,0 +1,70 @@
+// Strongly-typed identifiers used across the control plane.
+//
+// Each identifier is a distinct type so a TEID can never be passed where an
+// M-TMSI is expected (CppCoreGuidelines I.4: make interfaces precisely and
+// strongly typed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace neutrino {
+
+/// CRTP-free strong integer wrapper. Tag makes each instantiation unique.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr auto operator<=>(StrongId a, StrongId b) {
+    return a.value_ <=> b.value_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = 0;
+};
+
+/// International Mobile Subscriber Identity (permanent subscriber id).
+using Imsi = StrongId<struct ImsiTag>;
+/// MME-Temporary Mobile Subscriber Identity; the CTA keys the UE by this
+/// when idle. Per §4.3 fn15, the CTA assigns the M-TMSI and the S1AP UE id
+/// the same value at initial attach, so one key serves both states.
+using Tmsi = StrongId<struct TmsiTag, std::uint32_t>;
+/// GTP Tunnel Endpoint Identifier (data-plane session endpoint).
+using Teid = StrongId<struct TeidTag, std::uint32_t>;
+/// E-RAB (radio access bearer) identity.
+using ErabId = StrongId<struct ErabTag, std::uint8_t>;
+
+/// Simulator-scoped node identities.
+using NodeId = StrongId<struct NodeTag, std::uint32_t>;
+using BsId = StrongId<struct BsTag, std::uint32_t>;
+using CtaId = StrongId<struct CtaTag, std::uint32_t>;
+using CpfId = StrongId<struct CpfTag, std::uint32_t>;
+using UpfId = StrongId<struct UpfTag, std::uint32_t>;
+using UeId = StrongId<struct UeTag>;
+
+/// Tracking Area Code: the location-domain granule the core pages within.
+using Tac = StrongId<struct TacTag, std::uint16_t>;
+
+}  // namespace neutrino
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<neutrino::StrongId<Tag, Rep>> {
+  size_t operator()(neutrino::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,92 @@
+// Minimal Status / Result<T> error-propagation types.
+//
+// Codecs and protocol handlers return these instead of throwing: a decode
+// failure on attacker- or fuzzer-supplied bytes is an expected outcome, not
+// an exceptional one (CppCoreGuidelines E.3).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace neutrino {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kOutOfRange,
+  kMalformed,      // wire bytes violate the format
+  kUnsupported,    // schema feature the codec cannot express
+  kNotFound,
+  kFailedPrecondition,
+  kUnavailable,    // peer down / failed over
+};
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  explicit operator bool() const { return is_ok(); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(StatusCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Result(Status) requires an error status");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagate an error Status from an expression that yields Status.
+#define NEUTRINO_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::neutrino::Status status_macro_tmp = (expr); \
+    if (!status_macro_tmp.is_ok()) return status_macro_tmp; \
+  } while (false)
+
+}  // namespace neutrino

@@ -1,0 +1,103 @@
+// Streaming statistics used by the benches: Welford mean/variance and an
+// exact-percentile sample collector for latency distributions.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace neutrino {
+
+/// Welford's online mean / variance; O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Collects samples and answers percentile queries exactly.
+///
+/// Benches collect at most a few million doubles per experiment point, so
+/// exact collection is affordable and avoids sketch error in the plots.
+class LatencyRecorder {
+ public:
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  void merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// q in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double q) const {
+    assert(!samples_.empty());
+    sort_if_needed();
+    const double rank = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] double p25() const { return percentile(0.25); }
+  [[nodiscard]] double p75() const { return percentile(0.75); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
+  [[nodiscard]] double min() const {
+    sort_if_needed();
+    return samples_.front();
+  }
+  [[nodiscard]] double max() const {
+    sort_if_needed();
+    return samples_.back();
+  }
+  [[nodiscard]] double mean() const {
+    double sum = 0.0;
+    for (double v : samples_) sum += v;
+    return samples_.empty() ? 0.0 : sum / static_cast<double>(samples_.size());
+  }
+
+ private:
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace neutrino

@@ -1,0 +1,108 @@
+// Per-message processing costs and encoded sizes.
+//
+// DESIGN.md §5: a CPF core's service time for a message is
+//     service_ns = base_ns + scale * codec_ns(format, kind)
+// where codec_ns is *measured on the real codecs* (MeasuredCostModel) or
+// injected (FixedCostModel, for deterministic tests). Encoded sizes feed
+// the CTA log-size accounting (Fig. 17) and state-migration costs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "core/msg.hpp"
+#include "serialize/codec.hpp"
+
+namespace neutrino::core {
+
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Service time to receive/handle/answer one message of this kind at a
+  /// control-plane node using `format` on the wire.
+  [[nodiscard]] virtual SimTime processing_time(ser::WireFormat format,
+                                                MsgKind kind) const = 0;
+
+  /// Encoded size of the message on the wire (log accounting, Fig. 17).
+  [[nodiscard]] virtual std::size_t encoded_size(ser::WireFormat format,
+                                                 MsgKind kind) const = 0;
+
+  /// Cost of serializing a full UE state checkpoint / migration payload.
+  [[nodiscard]] virtual SimTime state_serialize_time(
+      ser::WireFormat format) const = 0;
+  [[nodiscard]] virtual std::size_t state_encoded_size(
+      ser::WireFormat format) const = 0;
+};
+
+/// Deterministic costs for unit tests: every message costs the same fixed
+/// service time regardless of kind/format (unless overridden).
+class FixedCostModel final : public CostModel {
+ public:
+  explicit FixedCostModel(SimTime per_message = SimTime::microseconds(10),
+                          std::size_t size_bytes = 100)
+      : per_message_(per_message), size_(size_bytes) {}
+
+  [[nodiscard]] SimTime processing_time(ser::WireFormat,
+                                        MsgKind) const override {
+    return per_message_;
+  }
+  [[nodiscard]] std::size_t encoded_size(ser::WireFormat,
+                                         MsgKind) const override {
+    return size_;
+  }
+  [[nodiscard]] SimTime state_serialize_time(ser::WireFormat) const override {
+    return per_message_;
+  }
+  [[nodiscard]] std::size_t state_encoded_size(ser::WireFormat) const override {
+    return 4 * size_;
+  }
+
+ private:
+  SimTime per_message_;
+  std::size_t size_;
+};
+
+/// Measures the real codecs once at construction (representative message
+/// per MsgKind), then anchors the service-time scale so that the
+/// Existing-EPC attach saturation knee lands near the paper's 60 KPPS
+/// (DESIGN.md §5). All other knees/ratios are emergent.
+class MeasuredCostModel final : public CostModel {
+ public:
+  MeasuredCostModel();
+
+  [[nodiscard]] SimTime processing_time(ser::WireFormat format,
+                                        MsgKind kind) const override;
+  [[nodiscard]] std::size_t encoded_size(ser::WireFormat format,
+                                         MsgKind kind) const override;
+  [[nodiscard]] SimTime state_serialize_time(
+      ser::WireFormat format) const override;
+  [[nodiscard]] std::size_t state_encoded_size(
+      ser::WireFormat format) const override;
+
+  /// The calibration anchor (exposed for EXPERIMENTS.md reporting).
+  [[nodiscard]] double scale() const { return scale_; }
+  [[nodiscard]] SimTime base() const { return base_; }
+
+ private:
+  static constexpr std::size_t kFormats = ser::kAllWireFormats.size();
+  static constexpr std::size_t kKinds =
+      static_cast<std::size_t>(MsgKind::kOutdatedNotify) + 1;
+
+  struct Entry {
+    double codec_ns = 0;
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] const Entry& entry(ser::WireFormat f, MsgKind k) const {
+    return table_[static_cast<std::size_t>(f)][static_cast<std::size_t>(k)];
+  }
+
+  std::array<std::array<Entry, kKinds>, kFormats> table_{};
+  std::array<Entry, kFormats> state_entry_{};
+  SimTime base_ = SimTime::nanoseconds(4000);
+  double scale_ = 1.0;
+};
+
+}  // namespace neutrino::core

@@ -1,0 +1,459 @@
+// Control Traffic Aggregator: logical-clock message log, ACK tracking,
+// out-of-date marking and the two-level failure recovery driver (§4.2).
+#include "core/system.hpp"
+
+namespace neutrino::core {
+
+Cta::Cta(System& system, CtaId id, std::uint32_t region)
+    : system_(&system),
+      id_(id),
+      region_(region),
+      pool_(system.loop(), system.topo().cta_cores),
+      level1_ring_(system.topo().ring_vnodes),
+      level2_ring_(system.topo().ring_vnodes) {
+  const auto& topo = system.topo();
+  // Level-1 ring: the CPFs of this region (primary selection).
+  for (int i = 0; i < topo.cpfs_per_region; ++i) {
+    const CpfId cpf = topo.cpf_at(region, i);
+    level1_ring_.add(cpf, 0x5a5a0000ULL + cpf.value());
+  }
+  // Level-2 ring: CPFs of the *other* level-1 regions in the same level-2
+  // region — backups are placed outside the primary's region (§4.3:
+  // "N consecutive replicas on a level-2 ring (not included in the level-1
+  // ring)"), so a region-wide failure mode cannot take out all copies.
+  const std::uint32_t my_l2 = topo.l2_of(region);
+  for (std::uint32_t r = 0;
+       r < static_cast<std::uint32_t>(topo.total_regions()); ++r) {
+    if (r == region || topo.l2_of(r) != my_l2) continue;
+    for (int i = 0; i < topo.cpfs_per_region; ++i) {
+      const CpfId cpf = topo.cpf_at(r, i);
+      level2_ring_.add(cpf, 0x5a5a0000ULL + cpf.value());
+    }
+  }
+}
+
+CpfId Cta::route(UeId ue) const {
+  if (const auto it = ues_.find(ue); it != ues_.end()) {
+    if (it->second.override_route &&
+        system_->cpf_alive(*it->second.override_route)) {
+      return *it->second.override_route;
+    }
+  }
+  const CpfId primary = level1_ring_.lookup(System::ue_key(ue));
+  if (system_->cpf_alive(primary)) return primary;
+  // Primary down: "an up-to-date CPF replica becomes primary" (§4.1) — the
+  // replica set is where the state lives, so prefer it over ring walking.
+  for (const CpfId b : backups(ue)) {
+    if (system_->cpf_alive(b)) return b;
+  }
+  // No replicas (EPC) or all dead: consistent hashing walks to the next
+  // live CPF of the level-1 ring (which will demand a Re-Attach).
+  for (const CpfId candidate :
+       level1_ring_.successors(System::ue_key(ue),
+                               level1_ring_.node_count())) {
+    if (system_->cpf_alive(candidate)) return candidate;
+  }
+  return primary;  // all dead: the send will be dropped
+}
+
+std::vector<CpfId> Cta::backups(UeId ue) const {
+  const auto n = static_cast<std::size_t>(system_->policy().num_backups);
+  if (n == 0) return {};
+  if (!level2_ring_.empty()) {
+    return level2_ring_.successors(System::ue_key(ue), n);
+  }
+  // Single-region deployment (the paper's 5-instance testbed): no level-2
+  // ring exists, so backups are the primary's ring successors in-region.
+  auto chain = level1_ring_.successors(System::ue_key(ue), n + 1);
+  chain.erase(chain.begin());  // drop the primary itself
+  return chain;
+}
+
+void Cta::deliver_uplink(Msg msg) {
+  if (!alive_) return;
+  SimTime cost = system_->proto().cta_forward_cost;
+  if (system_->policy().cta_message_logging &&
+      is_ue_control_message(msg.kind)) {
+    cost += system_->proto().cta_log_cost;
+  }
+  pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
+    forward_uplink(std::move(msg));
+  });
+}
+
+void Cta::forward_uplink(Msg msg) {
+  // §4.2.3(1): associate a logical clock with every control message.
+  msg.lclock = lclock_.tick();
+
+  const bool logging = system_->policy().cta_message_logging &&
+                       is_ue_control_message(msg.kind);
+  // Fire-and-forget procedure-final messages (AttachComplete, ICSResponse)
+  // produce no response; tracking them as pending would leak records.
+  const bool expects_response = msg.kind != MsgKind::kAttachComplete &&
+                                msg.kind != MsgKind::kIcsResponse;
+  if (is_ue_control_message(msg.kind) && (logging || expects_response)) {
+    UeRecord& rec = ues_[msg.ue];
+
+    if (logging) {
+      // A sequence gap means procedures ran through another CTA (control
+      // handover away and back): everything this CTA remembers about the
+      // UE — ACK watermarks, log, failover route — is stale. Start over.
+      if (rec.last_seq_logged != 0 &&
+          msg.proc_seq > rec.last_seq_logged + 1) {
+        for (auto it = rec.procedures.begin();
+             it != rec.procedures.end();) {
+          const std::uint64_t seq = it->first;
+          ++it;
+          prune_procedure(rec, seq);
+        }
+        rec.acked_through.clear();
+        rec.override_route.reset();
+        rec.first_seq_logged = 0;
+        rec.last_seq_logged = 0;
+      }
+      if (rec.first_seq_logged == 0) rec.first_seq_logged = msg.proc_seq;
+      rec.last_seq_logged = std::max(rec.last_seq_logged, msg.proc_seq);
+      ProcedureLog& plog = rec.procedures[msg.proc_seq];
+      if (plog.entries.empty()) {
+        plog.first_logged = system_->loop().now();
+        arm_scan();
+        // §4.2.4(4): a second procedure starting while the previous one
+        // still has missing ACKs triggers an immediate outdated notify, so
+        // a lagging replica cannot be mistaken for current by the new
+        // procedure (e.g. a FastHandover target).
+        if (const auto prev = rec.procedures.find(msg.proc_seq - 1);
+            prev != rec.procedures.end() && !prev->second.entries.empty() &&
+            system_->loop().now() - prev->second.first_logged >
+                system_->proto().rule4_grace) {
+          notify_outdated(msg.ue, prev->second, prev->first);
+        }
+      }
+      const std::size_t bytes = system_->costs().encoded_size(
+          system_->policy().wire_format, msg.kind);
+      plog.entries.push_back({msg, bytes});
+      account_log(static_cast<std::ptrdiff_t>(bytes), 1);
+      ++system_->metrics().log_appends;
+    }
+
+    if (expects_response) rec.pending_request = msg;
+  }
+
+  system_->cta_to_cpf(region_, route(msg.ue), std::move(msg));
+}
+
+void Cta::deliver_downlink(Msg msg) {
+  if (!alive_) return;
+  pool_.submit(system_->proto().cta_forward_cost,
+               [this, msg = std::move(msg)]() mutable {
+    if (msg.kind == MsgKind::kCheckpointAck) {
+      handle_ack(msg);
+      return;
+    }
+    // Response toward the UE: the in-flight request is answered.
+    if (const auto it = ues_.find(msg.ue); it != ues_.end()) {
+      it->second.pending_request.reset();
+      if (msg.kind == MsgKind::kHandoverCommand &&
+          msg.target_region != region_) {
+        // Control handover away: from here on the UE's messages flow
+        // through the target region's CTA, which will also receive the
+        // checkpoint ACKs. This CTA's log and watermarks for the UE are
+        // ownerless — drop them (the target CTA rebuilds its own record
+        // from the HandoverNotify onward).
+        UeRecord& rec = it->second;
+        while (!rec.procedures.empty()) {
+          prune_procedure(rec, rec.procedures.begin()->first);
+        }
+        ues_.erase(it);
+      } else if (it->second.procedures.empty() &&
+                 !it->second.override_route) {
+        ues_.erase(it);  // nothing left to remember for this UE
+      }
+    }
+    system_->cta_to_ue(std::move(msg));
+  });
+}
+
+void Cta::handle_ack(const Msg& msg) {
+  ++system_->metrics().checkpoint_acks;
+  // Reject ACKs from a previous incarnation of the replica: the state they
+  // vouch for died in the crash.
+  if (msg.sender_epoch != system_->cpf(msg.src_cpf).epoch()) return;
+  const auto rec_it = ues_.find(msg.ue);
+  if (rec_it == ues_.end()) return;  // record already fully pruned
+  UeRecord& rec = rec_it->second;
+  auto& through = rec.acked_through[msg.src_cpf.value()];
+  through = std::max(through, msg.proc_seq);
+
+  const auto it = rec.procedures.find(msg.proc_seq);
+  if (it == rec.procedures.end()) {
+    // Already pruned (late duplicate ACK) or logging disabled.
+    return;
+  }
+  ProcedureLog& plog = it->second;
+  plog.end_lclock = msg.lclock;  // §4.2.3(2): end-of-procedure marker
+  plog.acked_by.insert(msg.src_cpf.value());
+  if (plog.acked_by.size() >=
+      static_cast<std::size_t>(system_->policy().num_backups)) {
+    // §4.2.3: all backups are current; the log entries are garbage.
+    prune_procedure(rec, msg.proc_seq);
+    ++system_->metrics().log_prunes;
+    if (rec.procedures.empty() && !rec.pending_request &&
+        !rec.override_route) {
+      ues_.erase(msg.ue);
+    }
+  }
+}
+
+void Cta::prune_procedure(UeRecord& rec, std::uint64_t proc_seq) {
+  const auto it = rec.procedures.find(proc_seq);
+  if (it == rec.procedures.end()) return;
+  std::size_t bytes = 0;
+  for (const auto& entry : it->second.entries) bytes += entry.bytes;
+  account_log(-static_cast<std::ptrdiff_t>(bytes),
+              -static_cast<std::ptrdiff_t>(it->second.entries.size()));
+  rec.procedures.erase(it);
+}
+
+void Cta::account_log(std::ptrdiff_t delta_bytes, std::ptrdiff_t delta_msgs) {
+  log_bytes_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(log_bytes_) + delta_bytes);
+  log_messages_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(log_messages_) + delta_msgs);
+}
+
+void Cta::arm_scan() {
+  if (scan_armed_ || !alive_) return;
+  scan_armed_ = true;
+  system_->loop().schedule_after(system_->proto().log_scan_interval, [this] {
+    scan_armed_ = false;
+    if (alive_) scan_log();
+  });
+}
+
+void Cta::scan_log() {
+  // §4.2.4(1): procedures whose ACKs are overdue — tell the lagging
+  // replicas their copy is outdated, then drop the messages.
+  const SimTime now = system_->loop().now();
+  const SimTime timeout = system_->proto().ack_timeout;
+  for (auto ue_it = ues_.begin(); ue_it != ues_.end();) {
+    UeRecord& rec = ue_it->second;
+    for (auto proc_it = rec.procedures.begin();
+         proc_it != rec.procedures.end();) {
+      ProcedureLog& plog = proc_it->second;
+      if (now - plog.first_logged > timeout) {
+        notify_outdated(ue_it->first, plog, proc_it->first);
+        std::size_t bytes = 0;
+        for (const auto& e : plog.entries) bytes += e.bytes;
+        account_log(-static_cast<std::ptrdiff_t>(bytes),
+                    -static_cast<std::ptrdiff_t>(plog.entries.size()));
+        proc_it = rec.procedures.erase(proc_it);
+      } else {
+        ++proc_it;
+      }
+    }
+    if (rec.procedures.empty() && !rec.pending_request &&
+        !rec.override_route) {
+      ue_it = ues_.erase(ue_it);
+    } else {
+      ++ue_it;
+    }
+  }
+  if (log_messages_ > 0) arm_scan();
+}
+
+void Cta::notify_outdated(UeId ue, const ProcedureLog& plog,
+                          std::uint64_t proc_seq) {
+  // End-of-procedure clock: from the checkpoint broadcast if one was ACKed,
+  // otherwise the last message logged so far.
+  const LogicalClock::Value marker =
+      plog.end_lclock != 0
+          ? plog.end_lclock
+          : (plog.entries.empty() ? 0 : plog.entries.back().msg.lclock);
+  const auto replica_set = backups(ue);
+  auto uptodate = std::make_shared<std::vector<CpfId>>();
+  for (const CpfId b : replica_set) {
+    if (plog.acked_by.contains(b.value())) uptodate->push_back(b);
+  }
+  for (const CpfId b : replica_set) {
+    if (plog.acked_by.contains(b.value())) continue;
+    Msg notify;
+    notify.kind = MsgKind::kOutdatedNotify;
+    notify.ue = ue;
+    notify.proc_seq = proc_seq;
+    notify.lclock = marker;  // ignore older state updates (§4.2.4)
+    notify.region = region_;
+    notify.uptodate_cpfs = uptodate;
+    ++system_->metrics().outdated_notifies;
+    system_->cta_to_cpf(region_, b, std::move(notify));
+  }
+}
+
+void Cta::on_cpf_failure(CpfId failed) {
+  std::vector<UeId> affected;
+  for (auto& [ue, rec] : ues_) {
+    // The failed CPF's volatile state is gone: whatever it ACKed no longer
+    // exists, so its vouchers are void.
+    rec.acked_through.erase(failed.value());
+    for (auto& [proc, plog] : rec.procedures) {
+      plog.acked_by.erase(failed.value());
+    }
+    const CpfId hashed = level1_ring_.lookup(System::ue_key(ue));
+    const bool routed_here =
+        (rec.override_route && *rec.override_route == failed) ||
+        (!rec.override_route && hashed == failed);
+    if (routed_here && (rec.pending_request || !rec.procedures.empty())) {
+      affected.push_back(ue);
+    }
+  }
+  // Drive recovery for every UE this CTA was routing to the failed CPF.
+  for (const UeId ue : affected) recover_ue(ue, ues_[ue], failed);
+}
+
+void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
+#ifdef NEUTRINO_RYW_DEBUG
+  fprintf(stderr, "[REC] t=%ld ue=%lu failed=%u nprocs=%zu pending=%d\n",
+          system_->loop().now().ns(), ue.value(), failed.value(),
+          rec.procedures.size(), rec.pending_request.has_value());
+#else
+  (void)failed;
+#endif
+  Metrics& metrics = system_->metrics();
+  const CorePolicy& policy = system_->policy();
+
+  auto command_reattach = [&] {
+    // Failure scenario 3/4: no usable replica — the UE rebuilds a
+    // consistent state from scratch (§4.2.5), preserving RYW by never
+    // serving it stale data.
+    Msg cmd;
+    cmd.kind = MsgKind::kReattachCommand;
+    cmd.ue = ue;
+    cmd.proc_seq =
+        rec.pending_request ? rec.pending_request->proc_seq : 0;
+    cmd.region = region_;
+    cmd.is_replay = true;  // recovery-origin: the UE was hit by the crash
+    rec.pending_request.reset();
+    rec.override_route.reset();
+    system_->cta_to_ue(std::move(cmd));
+  };
+
+  switch (policy.recovery) {
+    case RecoveryMode::kReattach:
+      command_reattach();
+      return;
+
+    case RecoveryMode::kFailover: {
+      // SkyCore: state was synced per message; promote a live backup and
+      // resend the in-flight request.
+      for (const CpfId b : backups(ue)) {
+        if (!system_->cpf_alive(b)) continue;
+        rec.override_route = b;
+        ++metrics.failovers;
+        if (rec.pending_request) {
+          Msg resend = *rec.pending_request;
+          resend.is_replay = true;
+          system_->cta_to_cpf(region_, b, std::move(resend));
+        }
+        return;
+      }
+      command_reattach();
+      return;
+    }
+
+    case RecoveryMode::kReplay: {
+      // Neutrino: pick the first live backup whose state can be brought
+      // current from the log, replaying what it is missing (§4.2.5,
+      // scenarios 1 and 2).
+      for (const CpfId b : backups(ue)) {
+        if (!system_->cpf_alive(b)) continue;
+        // A checkpoint ACK vouches for the full state through that
+        // procedure, so the backup needs exactly the procedures after its
+        // acked-through watermark. Every one of them must still be in the
+        // log, completely — a hole (pruned on an ACK that later died with
+        // a replica crash, or dropped by the §4.2.4(1d) timeout) makes
+        // this backup unrecoverable from the log.
+        const auto through_it = rec.acked_through.find(b.value());
+        const std::uint64_t b_has =
+            through_it != rec.acked_through.end() ? through_it->second : 0;
+        const std::uint64_t replay_from =
+            std::max(b_has + 1, rec.first_seq_logged);
+        std::vector<const Msg*> to_replay;
+        bool replayable = rec.first_seq_logged != 0;
+        for (std::uint64_t p = replay_from;
+             p <= rec.last_seq_logged && replayable; ++p) {
+          const auto it = rec.procedures.find(p);
+          if (it == rec.procedures.end() || it->second.entries.empty()) {
+            replayable = false;
+            break;
+          }
+          for (const auto& entry : it->second.entries) {
+            to_replay.push_back(&entry.msg);
+          }
+        }
+        if (!replayable) continue;  // try another backup
+        rec.override_route = b;
+#ifdef NEUTRINO_RYW_DEBUG
+        fprintf(stderr, "[REC] t=%ld ue=%lu -> backup=%u replay=%zu\n",
+                system_->loop().now().ns(), ue.value(), b.value(),
+                to_replay.size());
+#endif
+        if (to_replay.empty()) {
+          ++metrics.failovers;  // scenario 1: backup already up to date
+        } else {
+          metrics.replays += to_replay.size();
+          for (const Msg* original : to_replay) {
+            Msg replay = *original;
+            replay.is_replay = true;
+            system_->cta_to_cpf(region_, b, std::move(replay));
+          }
+        }
+        rec.pending_request.reset();  // the replay regenerates the response
+        return;
+      }
+      command_reattach();
+      return;
+    }
+  }
+}
+
+void Cta::start_failure_detector(SimTime probe_interval, int misses) {
+  probe_interval_ = probe_interval;
+  probe_miss_limit_ = misses;
+  system_->loop().schedule_after(probe_interval_, [this] { probe_round(); });
+}
+
+void Cta::probe_round() {
+  if (!alive_) return;
+  // Probe every CPF this CTA can route to: its level-1 pool and the
+  // level-2 replica candidates. A live CPF answers instantly in the model
+  // (the probe RTT is far below the interval); a dead one accumulates
+  // misses until declared failed, which triggers the same recovery as an
+  // operator notification would (§4.1).
+  auto probe_set = level1_ring_.nodes();
+  const auto& l2 = level2_ring_.nodes();
+  probe_set.insert(probe_set.end(), l2.begin(), l2.end());
+  for (const CpfId cpf : probe_set) {
+    if (system_->cpf_alive(cpf)) {
+      missed_probes_[cpf.value()] = 0;
+      if (declared_failed_.erase(cpf.value()) > 0) {
+        // Restarted (empty) instance: back in rotation.
+      }
+      continue;
+    }
+    if (declared_failed_.contains(cpf.value())) continue;
+    if (++missed_probes_[cpf.value()] >= probe_miss_limit_) {
+      declared_failed_.insert(cpf.value());
+      on_cpf_failure(cpf);
+    }
+  }
+  system_->loop().schedule_after(probe_interval_, [this] { probe_round(); });
+}
+
+void Cta::crash() {
+  alive_ = false;
+  // The CTA log is volatile (§4.2.3): everything is lost.
+  ues_.clear();
+  log_bytes_ = 0;
+  log_messages_ = 0;
+}
+
+}  // namespace neutrino::core

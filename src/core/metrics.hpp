@@ -1,0 +1,57 @@
+// Experiment metrics: PCT distributions and protocol counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "core/msg.hpp"
+
+namespace neutrino::core {
+
+struct Metrics {
+  static constexpr std::size_t kProcTypes = 7;
+
+  /// Procedure completion time in milliseconds, by procedure type.
+  std::array<LatencyRecorder, kProcTypes> pct;
+  /// Subset: procedures that hit a failure/recovery path (Fig. 10).
+  std::array<LatencyRecorder, kProcTypes> pct_under_failure;
+
+  LatencyRecorder& pct_for(ProcedureType t) {
+    return pct[static_cast<std::size_t>(t)];
+  }
+  LatencyRecorder& pct_failure_for(ProcedureType t) {
+    return pct_under_failure[static_cast<std::size_t>(t)];
+  }
+
+  // Protocol counters.
+  std::uint64_t procedures_started = 0;
+  std::uint64_t procedures_completed = 0;
+  std::uint64_t reattaches = 0;         // failure scenario 3/4 recoveries
+  std::uint64_t replays = 0;            // scenario 2: messages replayed
+  std::uint64_t failovers = 0;          // scenario 1: clean backup takeover
+  std::uint64_t checkpoints_sent = 0;
+  std::uint64_t checkpoint_acks = 0;
+  std::uint64_t outdated_notifies = 0;  // §4.2.4 markings
+  std::uint64_t state_fetches = 0;
+  std::uint64_t fast_handovers = 0;     // proactive hit: no migration needed
+  std::uint64_t migrations = 0;         // state shipped at handover time
+  std::uint64_t log_appends = 0;
+  std::uint64_t log_prunes = 0;
+  // Downlink reachability (the §3.1 / Fig. 2 motivating scenario).
+  std::uint64_t pagings_sent = 0;
+  std::uint64_t downlink_delivered = 0;
+  std::uint64_t downlink_undeliverable = 0;
+
+  /// CTA in-memory log accounting (Fig. 17).
+  std::size_t cta_log_peak_bytes = 0;
+
+  /// Read-your-Writes violations observed by the frontend. The consistency
+  /// protocol's correctness claim is exactly: this stays zero.
+  std::uint64_t ryw_violations = 0;
+  /// Responses served from provably stale state (subset of the above,
+  /// counted at the CPF).
+  std::uint64_t stale_serves = 0;
+};
+
+}  // namespace neutrino::core

@@ -1,0 +1,118 @@
+// Control-plane policy knobs.
+//
+// The paper's four evaluated systems (§6.2) are all "modified versions of
+// the existing EPC", differing along a few orthogonal axes. Expressing each
+// baseline as a policy vector over one code base mirrors that and keeps the
+// comparison honest: every system shares the same simulator, procedures and
+// topology, differing only in the knobs below.
+#pragma once
+
+#include <string_view>
+
+#include "serialize/codec.hpp"
+
+namespace neutrino::core {
+
+/// When UE state is pushed from the primary CPF to its backups (§6.7.1).
+enum class SyncMode {
+  kNone,          // no replication (existing EPC, DPCM)
+  kPerMessage,    // checkpoint after every control message (SkyCore)
+  kPerProcedure,  // checkpoint on procedure completion (Neutrino)
+  kOnIdle,        // checkpoint only on connected->idle transition (SCALE)
+};
+
+/// What happens to a UE whose primary CPF fails (§4.2.5).
+enum class RecoveryMode {
+  kReattach,  // UE re-executes Attach from scratch (existing EPC, DPCM)
+  kFailover,  // an always-synced backup takes over directly (SkyCore)
+  kReplay,    // CTA replays logged messages onto a backup (Neutrino)
+};
+
+/// Inter-CPF handover strategy (§4.3).
+enum class HandoverMode {
+  kMigrate,    // synchronous state migration to the target CPF (4G/LTE)
+  kProactive,  // target already holds state via level-2 geo-replication
+};
+
+struct CorePolicy {
+  std::string_view name;
+  ser::WireFormat wire_format = ser::WireFormat::kAsn1Per;
+  SyncMode sync_mode = SyncMode::kNone;
+  RecoveryMode recovery = RecoveryMode::kReattach;
+  HandoverMode handover = HandoverMode::kMigrate;
+  bool cta_message_logging = false;  // the §4.2.3 in-memory log
+  /// DPCM [61]: the device supplies cached state, letting the attach and
+  /// service-request flows skip the authentication and security-mode round
+  /// trips (client-side parallelism).
+  bool dpcm_device_state = false;
+  int num_backups = 2;  // N replica CPFs
+};
+
+/// §6.2 baseline: OpenAirInterface-derived EPC over DPDK, ASN.1, UE
+/// re-attaches on CPF failure, no replication.
+constexpr CorePolicy existing_epc_policy() {
+  return {.name = "ExistingEPC",
+          .wire_format = ser::WireFormat::kAsn1Per,
+          .sync_mode = SyncMode::kNone,
+          .recovery = RecoveryMode::kReattach,
+          .handover = HandoverMode::kMigrate,
+          .cta_message_logging = false,
+          .dpcm_device_state = false,
+          .num_backups = 0};
+}
+
+/// §6.2: Neutrino = optimized FlatBuffers + per-procedure checkpointing +
+/// message-log replay recovery + proactive geo-replication.
+constexpr CorePolicy neutrino_policy() {
+  return {.name = "Neutrino",
+          .wire_format = ser::WireFormat::kOptimizedFlatBuffers,
+          .sync_mode = SyncMode::kPerProcedure,
+          .recovery = RecoveryMode::kReplay,
+          .handover = HandoverMode::kProactive,
+          .cta_message_logging = true,
+          .dpcm_device_state = false,
+          .num_backups = 2};
+}
+
+/// §6.2: SkyCore synchronizes user state on each control message.
+constexpr CorePolicy skycore_policy() {
+  return {.name = "SkyCore",
+          .wire_format = ser::WireFormat::kAsn1Per,
+          .sync_mode = SyncMode::kPerMessage,
+          .recovery = RecoveryMode::kFailover,
+          .handover = HandoverMode::kMigrate,
+          .cta_message_logging = false,
+          .dpcm_device_state = false,
+          .num_backups = 2};
+}
+
+/// §3.1: SCALE updates replicas asynchronously, *only when a UE
+/// transitions from connected to idle* — between transitions the replicas
+/// can be arbitrarily stale, which is the UE-Core inconsistency example
+/// of Fig. 2. Not part of the paper's plotted baselines; included because
+/// §3.1 analyzes it.
+constexpr CorePolicy scale_policy() {
+  return {.name = "SCALE",
+          .wire_format = ser::WireFormat::kAsn1Per,
+          .sync_mode = SyncMode::kOnIdle,
+          .recovery = RecoveryMode::kFailover,
+          .handover = HandoverMode::kMigrate,
+          .cta_message_logging = false,
+          .dpcm_device_state = false,
+          .num_backups = 2};
+}
+
+/// §6.2: DPCM modifies the control procedures (BS receives state from the
+/// UE), otherwise identical to existing EPC.
+constexpr CorePolicy dpcm_policy() {
+  return {.name = "DPCM",
+          .wire_format = ser::WireFormat::kAsn1Per,
+          .sync_mode = SyncMode::kNone,
+          .recovery = RecoveryMode::kReattach,
+          .handover = HandoverMode::kMigrate,
+          .cta_message_logging = false,
+          .dpcm_device_state = true,
+          .num_backups = 0};
+}
+
+}  // namespace neutrino::core

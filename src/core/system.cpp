@@ -1,0 +1,213 @@
+#include "core/system.hpp"
+
+namespace neutrino::core {
+
+// ---------------------------------------------------------------------------
+// Upf
+// ---------------------------------------------------------------------------
+
+Upf::Upf(System& system, UpfId id, std::uint32_t region)
+    : system_(&system),
+      id_(id),
+      region_(region),
+      pool_(system.loop(), system.topo().upf_cores) {}
+
+void Upf::deliver(Msg msg) {
+  pool_.submit(system_->proto().upf_op_cost,
+               [this, msg = std::move(msg)]() mutable { handle(msg); });
+}
+
+void Upf::handle(Msg msg) {
+  Msg reply = msg;
+  reply.src_cpf = msg.src_cpf;
+  switch (msg.kind) {
+    case MsgKind::kCreateSession: {
+      auto [it, inserted] = sessions_.try_emplace(msg.ue, Teid(next_teid_));
+      if (inserted) ++next_teid_;
+      reply.kind = MsgKind::kCreateSessionResponse;
+      break;
+    }
+    case MsgKind::kModifyBearer:
+      // Path switch / bearer refresh; idempotent in the model.
+      sessions_.try_emplace(msg.ue, Teid(next_teid_++));
+      reply.kind = MsgKind::kModifyBearerResponse;
+      break;
+    case MsgKind::kDeleteSession:
+      sessions_.erase(msg.ue);
+      reply.kind = MsgKind::kDeleteSessionResponse;
+      break;
+    default:
+      return;  // not a UPF message
+  }
+  system_->upf_to_cpf(region_, msg.src_cpf, std::move(reply));
+}
+
+void Upf::notify_downlink(UeId ue) {
+  pool_.submit(system_->proto().upf_op_cost, [this, ue] {
+    Msg ddn;
+    ddn.kind = MsgKind::kDownlinkDataNotification;
+    ddn.ue = ue;
+    ddn.region = region_;
+    system_->upf_to_cta(region_, std::move(ddn));
+  });
+}
+
+void Upf::preinstall(UeId ue) {
+  sessions_.try_emplace(ue, Teid(next_teid_++));
+}
+
+// ---------------------------------------------------------------------------
+// System
+// ---------------------------------------------------------------------------
+
+System::System(sim::EventLoop& loop, CorePolicy policy, TopologyConfig topo,
+               ProtocolConfig proto, const CostModel& costs, Metrics& metrics)
+    : loop_(&loop),
+      policy_(policy),
+      topo_(topo),
+      proto_(proto),
+      costs_(&costs),
+      metrics_(&metrics) {
+  const int regions = topo_.total_regions();
+  ctas_.reserve(static_cast<std::size_t>(regions));
+  upfs_.reserve(static_cast<std::size_t>(regions));
+  cpfs_.reserve(static_cast<std::size_t>(topo_.total_cpfs()));
+  for (int cpf = 0; cpf < topo_.total_cpfs(); ++cpf) {
+    const auto id = CpfId(static_cast<std::uint32_t>(cpf));
+    cpfs_.push_back(
+        std::make_unique<Cpf>(*this, id, topo_.region_of_cpf(id)));
+  }
+  for (int region = 0; region < regions; ++region) {
+    const auto r = static_cast<std::uint32_t>(region);
+    ctas_.push_back(std::make_unique<Cta>(*this, CtaId(r), r));
+    upfs_.push_back(std::make_unique<Upf>(*this, UpfId(r), r));
+  }
+  frontend_ = std::make_unique<Frontend>(*this);
+}
+
+CpfId System::primary_cpf_for(UeId ue, std::uint32_t region) const {
+  return ctas_[region]->route(ue);
+}
+
+std::vector<CpfId> System::backups_for(UeId ue, std::uint32_t region) const {
+  return ctas_[region]->backups(ue);
+}
+
+void System::ue_to_cta(std::uint32_t region, Msg msg) {
+  loop_->schedule_after(topo_.latency.ue_to_cta,
+                        [this, region, msg = std::move(msg)]() mutable {
+                          if (ctas_[region]->alive()) {
+                            ctas_[region]->deliver_uplink(std::move(msg));
+                          }
+                        });
+}
+
+void System::cta_to_ue(Msg msg) {
+  loop_->schedule_after(topo_.latency.ue_to_cta,
+                        [this, msg = std::move(msg)]() mutable {
+                          frontend_->deliver(std::move(msg));
+                        });
+}
+
+void System::cta_to_cpf(std::uint32_t cta_region, CpfId cpf, Msg msg) {
+  const std::uint32_t cpf_region = topo_.region_of_cpf(cpf);
+  const SimTime latency = cta_region == cpf_region
+                              ? topo_.latency.cta_to_cpf
+                              : topo_.cpf_link(cta_region, cpf_region);
+  loop_->schedule_after(latency, [this, cpf, msg = std::move(msg)]() mutable {
+    if (cpfs_[cpf.value()]->alive()) {
+      cpfs_[cpf.value()]->deliver(std::move(msg));
+    }
+  });
+}
+
+void System::cpf_to_cta(CpfId from, std::uint32_t cta_region, Msg msg) {
+  const std::uint32_t from_region = topo_.region_of_cpf(from);
+  const SimTime latency = from_region == cta_region
+                              ? topo_.latency.cta_to_cpf
+                              : topo_.cpf_link(from_region, cta_region);
+  loop_->schedule_after(latency,
+                        [this, cta_region, msg = std::move(msg)]() mutable {
+                          if (ctas_[cta_region]->alive()) {
+                            ctas_[cta_region]->deliver_downlink(std::move(msg));
+                          }
+                        });
+}
+
+void System::cpf_to_cpf(CpfId from, CpfId to, Msg msg) {
+  const SimTime latency =
+      topo_.cpf_link(topo_.region_of_cpf(from), topo_.region_of_cpf(to));
+  loop_->schedule_after(latency, [this, to, msg = std::move(msg)]() mutable {
+    if (cpfs_[to.value()]->alive()) {
+      cpfs_[to.value()]->deliver(std::move(msg));
+    }
+  });
+}
+
+void System::cpf_to_upf(CpfId from, std::uint32_t upf_region, Msg msg) {
+  const std::uint32_t from_region = topo_.region_of_cpf(from);
+  const SimTime latency = from_region == upf_region
+                              ? topo_.latency.cpf_to_upf
+                              : topo_.cpf_link(from_region, upf_region);
+  loop_->schedule_after(latency,
+                        [this, upf_region, msg = std::move(msg)]() mutable {
+                          upfs_[upf_region]->deliver(std::move(msg));
+                        });
+}
+
+void System::upf_to_cpf(std::uint32_t upf_region, CpfId cpf, Msg msg) {
+  const std::uint32_t cpf_region = topo_.region_of_cpf(cpf);
+  const SimTime latency = upf_region == cpf_region
+                              ? topo_.latency.cpf_to_upf
+                              : topo_.cpf_link(upf_region, cpf_region);
+  loop_->schedule_after(latency, [this, cpf, msg = std::move(msg)]() mutable {
+    if (cpfs_[cpf.value()]->alive()) {
+      cpfs_[cpf.value()]->deliver(std::move(msg));
+    }
+  });
+}
+
+void System::trigger_downlink(UeId ue) {
+  const std::uint32_t region = frontend_->region_of(ue);
+  upfs_[region]->notify_downlink(ue);
+}
+
+void System::upf_to_cta(std::uint32_t upf_region, Msg msg) {
+  loop_->schedule_after(topo_.latency.cpf_to_upf,
+                        [this, upf_region, msg = std::move(msg)]() mutable {
+                          if (ctas_[upf_region]->alive()) {
+                            ctas_[upf_region]->deliver_uplink(std::move(msg));
+                          }
+                        });
+}
+
+void System::crash_cpf(CpfId id) {
+  cpfs_[id.value()]->crash();
+  // Every CTA that might route to this CPF learns after the detection
+  // delay (excluded from PCT when zero, per §6.4).
+  loop_->schedule_after(proto_.failure_detection, [this, id] {
+    for (auto& cta : ctas_) {
+      if (cta->alive()) cta->on_cpf_failure(id);
+    }
+  });
+}
+
+void System::crash_cpf_silently(CpfId id) { cpfs_[id.value()]->crash(); }
+
+void System::restore_cpf(CpfId id) { cpfs_[id.value()]->restore(); }
+
+void System::crash_cta(std::uint32_t region) {
+  ctas_[region]->crash();
+  loop_->schedule_after(proto_.failure_detection, [this, region] {
+    frontend_->on_cta_failure(region);
+  });
+}
+
+void System::sample_log_sizes() {
+  std::size_t total = 0;
+  for (const auto& cta : ctas_) total += cta->log_bytes();
+  metrics_->cta_log_peak_bytes =
+      std::max(metrics_->cta_log_peak_bytes, total);
+}
+
+}  // namespace neutrino::core

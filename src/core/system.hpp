@@ -1,0 +1,384 @@
+// The simulated cellular core: CTAs, CPFs, UPFs and the UE/BS frontend,
+// wired per the Fig. 6 deployment model and driven by one policy vector
+// (core/policy.hpp) so Neutrino and every baseline share this code.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hashing.hpp"
+#include "core/cost_model.hpp"
+#include "core/metrics.hpp"
+#include "core/msg.hpp"
+#include "core/policy.hpp"
+#include "core/topology.hpp"
+#include "core/ue_state.hpp"
+#include "geo/hash_ring.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/server_pool.hpp"
+
+namespace neutrino::core {
+
+class System;
+
+// ---------------------------------------------------------------------------
+// UPF: data-plane session endpoint (S11 server), one per region.
+// ---------------------------------------------------------------------------
+class Upf {
+ public:
+  Upf(System& system, UpfId id, std::uint32_t region);
+
+  void deliver(Msg msg);  // network-level delivery (latency already applied)
+
+  /// Downlink data arrived for an (idle) UE: raise a Downlink Data
+  /// Notification toward the control plane (the Fig. 2 scenario).
+  void notify_downlink(UeId ue);
+  /// Bench/test hook: install a session for a pre-attached UE.
+  void preinstall(UeId ue);
+
+  [[nodiscard]] UpfId id() const { return id_; }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] bool has_session(UeId ue) const {
+    return sessions_.contains(ue);
+  }
+
+ private:
+  void handle(Msg msg);
+
+  System* system_;
+  UpfId id_;
+  std::uint32_t region_;
+  sim::ServerPool pool_;
+  std::unordered_map<UeId, Teid> sessions_;
+  std::uint32_t next_teid_ = 0x1000;
+};
+
+// ---------------------------------------------------------------------------
+// CPF: the control-plane function (AMF/SMF analog).
+// ---------------------------------------------------------------------------
+class Cpf {
+ public:
+  Cpf(System& system, CpfId id, std::uint32_t region);
+
+  void deliver(Msg msg);
+
+  void crash();
+  void restore();
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] CpfId id() const { return id_; }
+  [[nodiscard]] std::uint32_t region() const { return region_; }
+  /// Crash incarnation (see Msg::sender_epoch).
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+  /// Test/bench hook: install state directly (pre-attached UE population).
+  void preinstall(std::shared_ptr<const UeState> state, bool as_primary);
+
+  [[nodiscard]] bool has_up_to_date(UeId ue) const;
+  [[nodiscard]] const UeState* peek_state(UeId ue) const;
+  /// Diagnostics: worst queueing delay seen by each service pool.
+  [[nodiscard]] SimTime max_request_backlog() const {
+    return request_pool_.max_backlog();
+  }
+  [[nodiscard]] SimTime max_sync_backlog() const {
+    return sync_pool_.max_backlog();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const UeState> state;
+    bool up_to_date = true;
+    /// §4.2.4(1a-ii): once marked outdated, only a state update carrying at
+    /// least this logical clock makes the replica current again.
+    LogicalClock::Value required_lclock = 0;
+  };
+
+  /// Per-UE progress of the procedure this CPF is currently executing.
+  struct ProcCtx {
+    ProcedureType type = ProcedureType::kAttach;
+    std::uint64_t proc_seq = 0;
+    std::uint32_t source_region = 0;  // handover: where the UE came from
+    std::uint32_t target_region = 0;
+    bool relocating = false;   // 4G relocation: session being re-created
+    CpfId source_cpf;          // relocation: who to acknowledge
+    LogicalClock::Value last_lclock = 0;  // clock of latest message seen
+  };
+
+  void handle(Msg msg);  // runs after the request-core service time
+  void handle_ue_message(Msg& msg);
+  void handle_attach_flow(Msg& msg);
+  void handle_service_flow(Msg& msg);
+  void handle_handover_source(Msg& msg);
+  void handle_handover_target(Msg& msg);
+  void handle_handover_notify(Msg& msg);
+  void handle_tau(Msg& msg);
+  void handle_detach_flow(Msg& msg);
+  void handle_downlink_notification(Msg& msg);
+  void handle_upf_response(Msg& msg);
+  void handle_replication(Msg& msg);
+
+  void complete_procedure(Msg& msg);
+  void send_checkpoint(UeId ue);
+  [[nodiscard]] bool context_matches(const Msg& request) const;
+  UeState& mutable_state(UeId ue);
+  void reply_to_ue(const Msg& request, MsgKind kind);
+  void ask_reattach(const Msg& request);
+  void send_to_upf(const Msg& request, MsgKind kind);
+
+  System* system_;
+  CpfId id_;
+  std::uint32_t region_;
+  bool alive_ = true;
+  std::uint32_t epoch_ = 0;
+  sim::ServerPool request_pool_;
+  sim::ServerPool sync_pool_;
+  std::unordered_map<UeId, Entry> store_;
+  std::unordered_map<UeId, ProcCtx> procs_;
+  /// Handover requests parked while fetching the UE state (§4.3 slow path).
+  std::unordered_map<UeId, Msg> pending_handover_;
+};
+
+// ---------------------------------------------------------------------------
+// CTA: control traffic aggregator (§4.2.3) — front-end load balancer,
+// logical-clock message log, ACK tracking, failure recovery driver.
+// ---------------------------------------------------------------------------
+class Cta {
+ public:
+  Cta(System& system, CtaId id, std::uint32_t region);
+
+  /// From the UE/BS side.
+  void deliver_uplink(Msg msg);
+  /// From CPFs: responses toward the UE, checkpoint ACKs.
+  void deliver_downlink(Msg msg);
+
+  void on_cpf_failure(CpfId cpf);
+  /// §4.1: the CTA performs CPF failure detection. Arms a periodic
+  /// heartbeat probe of every CPF this CTA can route to; `misses`
+  /// consecutive unanswered probes declare the CPF failed and drive
+  /// recovery — no oracle notification needed (use System::crash_cpf_silently
+  /// with this).
+  void start_failure_detector(SimTime probe_interval, int misses = 3);
+  void crash();
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] std::uint32_t region() const { return region_; }
+
+  /// Primary CPF this CTA routes the UE to (hash + failover overrides).
+  [[nodiscard]] CpfId route(UeId ue) const;
+  /// Level-2 backup set for a UE homed in this CTA's region (§4.3).
+  [[nodiscard]] std::vector<CpfId> backups(UeId ue) const;
+
+  [[nodiscard]] std::size_t log_bytes() const { return log_bytes_; }
+  [[nodiscard]] std::size_t log_messages() const { return log_messages_; }
+
+ private:
+  struct LogEntry {
+    Msg msg;
+    std::size_t bytes = 0;
+  };
+  struct ProcedureLog {
+    std::deque<LogEntry> entries;
+    LogicalClock::Value end_lclock = 0;  // set by the checkpoint broadcast
+    std::unordered_set<std::uint32_t> acked_by;  // replica CPF ids
+    SimTime first_logged;
+  };
+  struct UeRecord {
+    std::map<std::uint64_t, ProcedureLog> procedures;  // by proc_seq
+    /// Highest procedure each replica has ACKed a checkpoint for (a
+    /// checkpoint is a full-state snapshot, so ACKing k vouches for
+    /// everything <= k). Entries are erased when the replica crashes: its
+    /// volatile state — and the vouching — died with it.
+    std::unordered_map<std::uint32_t, std::uint64_t> acked_through;
+    std::uint64_t first_seq_logged = 0;
+    std::uint64_t last_seq_logged = 0;
+    std::optional<Msg> pending_request;  // in-flight, awaiting CPF response
+    std::optional<CpfId> override_route; // failover target
+  };
+
+  void forward_uplink(Msg msg);  // after CTA service time
+  void handle_ack(const Msg& msg);
+  void arm_scan();               // schedule the next §4.2.4 timeout scan
+  void scan_log();
+  void recover_ue(UeId ue, UeRecord& rec, CpfId failed);
+  void account_log(std::ptrdiff_t delta_bytes, std::ptrdiff_t delta_msgs);
+  void prune_procedure(UeRecord& rec, std::uint64_t proc_seq);
+  void notify_outdated(UeId ue, const ProcedureLog& plog,
+                       std::uint64_t proc_seq);
+
+  System* system_;
+  CtaId id_;
+  std::uint32_t region_;
+  bool alive_ = true;
+  sim::ServerPool pool_;
+  LogicalClock lclock_;
+  geo::ConsistentHashRing<CpfId> level1_ring_;
+  geo::ConsistentHashRing<CpfId> level2_ring_;  // excludes level-1 members
+  std::unordered_map<UeId, UeRecord> ues_;
+  std::size_t log_bytes_ = 0;
+  std::size_t log_messages_ = 0;
+  bool scan_armed_ = false;
+  // Heartbeat failure detector state.
+  SimTime probe_interval_;
+  int probe_miss_limit_ = 3;
+  std::unordered_map<std::uint32_t, int> missed_probes_;
+  std::unordered_set<std::uint32_t> declared_failed_;
+  void probe_round();
+};
+
+// ---------------------------------------------------------------------------
+// Frontend: trace-driven UE + BS emulator (the paper's DPDK generator).
+// ---------------------------------------------------------------------------
+class Frontend {
+ public:
+  explicit Frontend(System& system);
+
+  /// Kick off a control procedure for a UE. For handovers, `target_region`
+  /// names the destination level-1 region (== current region for
+  /// kIntraHandover).
+  void start_procedure(UeId ue, ProcedureType type,
+                       std::uint32_t target_region = 0);
+
+  /// Create a UE that is already attached with state installed at its
+  /// primary and backups (bench populations skip millions of attaches).
+  void preattach(UeId ue, std::uint32_t region);
+
+  /// Idle-mode mobility: the UE silently moves to another region; its next
+  /// procedure (typically a kTau) runs through the new region's CTA.
+  void idle_move(UeId ue, std::uint32_t new_region);
+
+  void deliver(Msg msg);  // responses from the core (via CTA)
+  void on_cta_failure(std::uint32_t region);
+
+  [[nodiscard]] std::uint64_t completed(UeId ue) const;
+  [[nodiscard]] bool is_attached(UeId ue) const;
+  [[nodiscard]] std::uint32_t region_of(UeId ue) const;
+
+  /// Data-plane outage accounting for the application studies (§6.6):
+  /// [start, end) intervals during which the UE had no usable data path.
+  struct Outage {
+    SimTime start;
+    SimTime end;
+  };
+  [[nodiscard]] const std::vector<Outage>& outages(UeId ue) const;
+
+ private:
+  struct UeCtx {
+    std::uint32_t region = 0;
+    std::uint32_t prev_region = 0;  // before the last move (replica lookup)
+    bool paging_response = false;   // current procedure answers a page
+    bool attached = false;
+    std::uint64_t completed_procs = 0;
+    /// proc_seq of the last procedure this UE saw complete: the RYW ground
+    /// truth the core's served_proc is checked against.
+    std::uint64_t last_completed_seq = 0;
+    std::uint64_t next_proc_seq = 1;
+    // In-flight procedure, if any.
+    bool in_flight = false;
+    ProcedureType proc_type = ProcedureType::kAttach;
+    ProcedureType reported_type = ProcedureType::kAttach;  // original type
+    std::uint64_t proc_seq = 0;
+    MsgKind awaiting = MsgKind::kAttachAccept;
+    SimTime start_time;
+    bool under_failure = false;
+    std::uint32_t ho_target = 0;
+    // Data-path outage tracking.
+    SimTime outage_start;
+    bool in_outage = false;
+    std::vector<Outage> outages;
+  };
+
+  void send_uplink(UeCtx& ctx, UeId ue, MsgKind kind);
+  void complete(UeCtx& ctx, UeId ue, const Msg& final_msg);
+  void begin_reattach(UeCtx& ctx, UeId ue);
+  void begin_outage(UeCtx& ctx);
+  void end_outage(UeCtx& ctx);
+  void check_ryw(UeCtx& ctx, const Msg& msg);
+
+  System* system_;
+  std::unordered_map<UeId, UeCtx> ues_;
+  std::vector<Outage> no_outages_;  // empty result for unknown UEs
+};
+
+// ---------------------------------------------------------------------------
+// System: owns every node, routes messages with link latencies.
+// ---------------------------------------------------------------------------
+class System {
+ public:
+  System(sim::EventLoop& loop, CorePolicy policy, TopologyConfig topo,
+         ProtocolConfig proto, const CostModel& costs, Metrics& metrics);
+
+  // Accessors used by the actors.
+  [[nodiscard]] sim::EventLoop& loop() { return *loop_; }
+  [[nodiscard]] const CorePolicy& policy() const { return policy_; }
+  [[nodiscard]] const TopologyConfig& topo() const { return topo_; }
+  [[nodiscard]] const ProtocolConfig& proto() const { return proto_; }
+  [[nodiscard]] const CostModel& costs() const { return *costs_; }
+  [[nodiscard]] Metrics& metrics() { return *metrics_; }
+
+  [[nodiscard]] Frontend& frontend() { return *frontend_; }
+  [[nodiscard]] Cta& cta(std::uint32_t region) { return *ctas_[region]; }
+  [[nodiscard]] Cpf& cpf(CpfId id) { return *cpfs_[id.value()]; }
+  [[nodiscard]] Upf& upf(std::uint32_t region) { return *upfs_[region]; }
+  [[nodiscard]] bool cta_alive(std::uint32_t region) const {
+    return ctas_[region]->alive();
+  }
+  [[nodiscard]] bool cpf_alive(CpfId id) const {
+    return cpfs_[id.value()]->alive();
+  }
+
+  /// Stable key a UE hashes to on every ring (M-TMSI/S1AP id, §4.3 fn15).
+  [[nodiscard]] static std::uint64_t ue_key(UeId ue) {
+    return mix64(ue.value() * 0x9e3779b97f4a7c15ULL + 1);
+  }
+
+  /// Primary CPF for a UE homed in `region` (ignores liveness/overrides;
+  /// the CTA applies those).
+  [[nodiscard]] CpfId primary_cpf_for(UeId ue, std::uint32_t region) const;
+  /// Level-2 backup set for a UE homed in `region`.
+  [[nodiscard]] std::vector<CpfId> backups_for(UeId ue,
+                                               std::uint32_t region) const;
+
+  // -- message transport (applies link latency, drops to dead nodes) -------
+  void ue_to_cta(std::uint32_t region, Msg msg);
+  void cta_to_ue(Msg msg);
+  void cta_to_cpf(std::uint32_t cta_region, CpfId cpf, Msg msg);
+  void cpf_to_cta(CpfId from, std::uint32_t cta_region, Msg msg);
+  void cpf_to_cpf(CpfId from, CpfId to, Msg msg);
+  void cpf_to_upf(CpfId from, std::uint32_t upf_region, Msg msg);
+  void upf_to_cpf(std::uint32_t upf_region, CpfId cpf, Msg msg);
+
+  /// Inject downlink data for a UE at its serving region's UPF (drives the
+  /// paging path; Fig. 2 scenario).
+  void trigger_downlink(UeId ue);
+
+  void upf_to_cta(std::uint32_t upf_region, Msg msg);
+
+  // -- failure injection ----------------------------------------------------
+  void crash_cpf(CpfId id);
+  /// Crash without notifying anyone: detection is left to the CTAs'
+  /// heartbeat monitors (Cta::start_failure_detector).
+  void crash_cpf_silently(CpfId id);
+  void restore_cpf(CpfId id);
+  void crash_cta(std::uint32_t region);
+
+  /// Peak log usage across CTAs, folded into metrics.
+  void sample_log_sizes();
+
+ private:
+  sim::EventLoop* loop_;
+  CorePolicy policy_;
+  TopologyConfig topo_;
+  ProtocolConfig proto_;
+  const CostModel* costs_;
+  Metrics* metrics_;
+
+  std::vector<std::unique_ptr<Cta>> ctas_;
+  std::vector<std::unique_ptr<Cpf>> cpfs_;
+  std::vector<std::unique_ptr<Upf>> upfs_;
+  std::unique_ptr<Frontend> frontend_;
+};
+
+}  // namespace neutrino::core

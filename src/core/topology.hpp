@@ -1,0 +1,92 @@
+// Deployment topology: level-1 / level-2 regions, node placement, link
+// latencies (Fig. 6 deployment model; CTA co-located with its region's CPF
+// pool, per §4.3 "this option simplifies deployment").
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+
+namespace neutrino::core {
+
+struct LatencyConfig {
+  /// UE/BS emulator to the region's CTA (the paper's two directly-cabled
+  /// DPDK servers: tens of microseconds end to end).
+  SimTime ue_to_cta = SimTime::microseconds(10);
+  SimTime cta_to_cpf = SimTime::microseconds(5);
+  SimTime cpf_to_upf = SimTime::microseconds(5);
+  SimTime intra_region = SimTime::microseconds(5);   // CPF<->CPF, same region
+  SimTime intra_l2 = SimTime::microseconds(400);     // across level-1 regions
+  SimTime inter_l2 = SimTime::milliseconds(3);       // across level-2 regions
+};
+
+struct TopologyConfig {
+  int l2_regions = 1;
+  int l1_per_l2 = 1;
+  int cpfs_per_region = 5;  // the paper's five CPF instances
+  int cpf_request_cores = 1;  // §5: one core processing requests...
+  int cpf_sync_cores = 1;     // ...one for state synchronization
+  int cta_cores = 2;
+  int upf_cores = 4;
+  int ring_vnodes = 32;
+  LatencyConfig latency;
+
+  [[nodiscard]] int total_regions() const { return l2_regions * l1_per_l2; }
+  [[nodiscard]] int total_cpfs() const {
+    return total_regions() * cpfs_per_region;
+  }
+  [[nodiscard]] std::uint32_t l2_of(std::uint32_t region) const {
+    return region / static_cast<std::uint32_t>(l1_per_l2);
+  }
+  [[nodiscard]] std::uint32_t region_of_cpf(CpfId cpf) const {
+    return cpf.value() / static_cast<std::uint32_t>(cpfs_per_region);
+  }
+  [[nodiscard]] CpfId cpf_at(std::uint32_t region, int index) const {
+    return CpfId(region * static_cast<std::uint32_t>(cpfs_per_region) +
+                 static_cast<std::uint32_t>(index));
+  }
+
+  /// CPF<->CPF (or CTA<->remote CPF) propagation latency by region pair.
+  [[nodiscard]] SimTime cpf_link(std::uint32_t region_a,
+                                 std::uint32_t region_b) const {
+    if (region_a == region_b) return latency.intra_region;
+    if (l2_of(region_a) == l2_of(region_b)) return latency.intra_l2;
+    return latency.inter_l2;
+  }
+};
+
+/// Protocol timing knobs (paper values; tests shrink them).
+struct ProtocolConfig {
+  SimTime ack_timeout = SimTime::seconds(30);      // §4.2.4: 30 s
+  SimTime log_scan_interval = SimTime::seconds(1);  // CTA periodic scan
+  /// Failure detection time: excluded from PCT per §6.4 ("PCT does not
+  /// include failure detection time"), so zero by default.
+  SimTime failure_detection = SimTime::nanoseconds(0);
+  /// CTA per-message forwarding cost (DPDK ring + consistent-hash lookup).
+  SimTime cta_forward_cost = SimTime::nanoseconds(700);
+  /// CTA in-memory log append (std::map insert, §5).
+  SimTime cta_log_cost = SimTime::nanoseconds(250);
+  /// UPF session-table operation.
+  SimTime upf_op_cost = SimTime::microseconds(2);
+  /// Inactivity window after which the CPF releases the UE's S1 context
+  /// (connected -> idle). Drives SyncMode::kOnIdle checkpointing (§3.1's
+  /// SCALE behaviour).
+  SimTime idle_release_after = SimTime::milliseconds(100);
+  /// §4.2.4(4) refinement: only treat a replica as outdated when the
+  /// previous procedure's ACKs have been missing longer than the normal
+  /// synchronization delay. Firing the notify instantly turns transient
+  /// checkpoint lag into a metastable notify storm on the sync cores
+  /// (observed under overload); correctness does not depend on it — the
+  /// UE-context version check rejects stale replicas regardless.
+  SimTime rule4_grace = SimTime::milliseconds(10);
+  /// Radio-coverage grace during an inter-CPF handover: a moving UE keeps
+  /// the source cell for at most this long after the crossing; if the
+  /// control plane has not commanded the handover by then, the link drops
+  /// and the data-path outage starts (§3.3: "up to 90% of the application
+  /// deadlines can be missed" during slow control handovers).
+  SimTime ho_coverage_grace = SimTime::milliseconds(500);
+};
+
+}  // namespace neutrino::core

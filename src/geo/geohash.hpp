@@ -1,0 +1,90 @@
+// 2-bits-per-character geohash, as used by Neutrino (§5 "we implemented
+// 2 bits per character version of the Geo Hashing ... causing a four-fold
+// increase/decrease in the region size with each character").
+//
+// Each character interleaves one longitude bit and one latitude bit, drawn
+// from the alphabet '0'..'3'. Dropping the last character therefore widens
+// the region 4x: exactly the level-1 -> level-2 relationship of Fig. 6.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+
+namespace neutrino::geo {
+
+struct LatLon {
+  double lat = 0.0;  // [-90, 90]
+  double lon = 0.0;  // [-180, 180]
+};
+
+/// Encode a position to `precision` characters (2 bits each).
+inline std::string geohash_encode(LatLon p, int precision) {
+  assert(precision > 0 && precision <= 30);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(precision));
+  for (int i = 0; i < precision; ++i) {
+    int symbol = 0;
+    const double lon_mid = (lon_lo + lon_hi) / 2;
+    if (p.lon >= lon_mid) {
+      symbol |= 2;
+      lon_lo = lon_mid;
+    } else {
+      lon_hi = lon_mid;
+    }
+    const double lat_mid = (lat_lo + lat_hi) / 2;
+    if (p.lat >= lat_mid) {
+      symbol |= 1;
+      lat_lo = lat_mid;
+    } else {
+      lat_hi = lat_mid;
+    }
+    out.push_back(static_cast<char>('0' + symbol));
+  }
+  return out;
+}
+
+struct GeoCell {
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+
+  [[nodiscard]] LatLon center() const {
+    return {(lat_lo + lat_hi) / 2, (lon_lo + lon_hi) / 2};
+  }
+  [[nodiscard]] bool contains(LatLon p) const {
+    return p.lat >= lat_lo && p.lat < lat_hi && p.lon >= lon_lo &&
+           p.lon < lon_hi;
+  }
+};
+
+/// Decode a geohash back to its cell bounds.
+inline GeoCell geohash_decode(std::string_view hash) {
+  GeoCell cell;
+  for (const char c : hash) {
+    const int symbol = c - '0';
+    assert(symbol >= 0 && symbol <= 3);
+    const double lon_mid = (cell.lon_lo + cell.lon_hi) / 2;
+    if (symbol & 2) {
+      cell.lon_lo = lon_mid;
+    } else {
+      cell.lon_hi = lon_mid;
+    }
+    const double lat_mid = (cell.lat_lo + cell.lat_hi) / 2;
+    if (symbol & 1) {
+      cell.lat_lo = lat_mid;
+    } else {
+      cell.lat_hi = lat_mid;
+    }
+  }
+  return cell;
+}
+
+/// The enclosing region one level up: drop the last character (4x area).
+inline std::string_view parent_region(std::string_view hash) {
+  assert(!hash.empty());
+  return hash.substr(0, hash.size() - 1);
+}
+
+}  // namespace neutrino::geo

@@ -1,0 +1,96 @@
+// Consistent hash ring with virtual nodes.
+//
+// Each CTA keeps two of these (§4.3): the level-1 ring over the CPFs of its
+// own region (primary selection) and the level-2 ring over the CPFs of the
+// enclosing region (backup placement). Virtual nodes smooth the key
+// distribution; ring positions use a stable hash so placement is identical
+// across runs and standard libraries.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/hashing.hpp"
+
+namespace neutrino::geo {
+
+template <typename NodeT>
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes_per_node = 32)
+      : vnodes_per_node_(vnodes_per_node) {}
+
+  void add(NodeT node, std::uint64_t node_seed) {
+    for (int replica = 0; replica < vnodes_per_node_; ++replica) {
+      const std::uint64_t pos =
+          hash_combine(mix64(node_seed), static_cast<std::uint64_t>(replica));
+      ring_.push_back({pos, node});
+    }
+    std::sort(ring_.begin(), ring_.end());
+    nodes_.push_back(node);
+  }
+
+  void remove(NodeT node) {
+    std::erase_if(ring_, [&](const Entry& e) { return e.node == node; });
+    std::erase(nodes_, node);
+  }
+
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<NodeT>& nodes() const { return nodes_; }
+
+  /// Owner of a key: first virtual node clockwise from the key's position.
+  [[nodiscard]] NodeT lookup(std::uint64_t key) const {
+    assert(!ring_.empty());
+    return walk(key).node;
+  }
+
+  /// The first `n` *distinct* nodes clockwise from the key — the placement
+  /// used for "N consecutive replicas on a level-2 ring" (§4.3).
+  [[nodiscard]] std::vector<NodeT> successors(std::uint64_t key,
+                                              std::size_t n) const {
+    std::vector<NodeT> out;
+    if (ring_.empty()) return out;
+    const std::uint64_t pos = mix64(key);
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), pos,
+                               [](const Entry& e, std::uint64_t p) {
+                                 return e.position < p;
+                               });
+    for (std::size_t hops = 0; hops < ring_.size() && out.size() < n;
+         ++hops) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (std::find(out.begin(), out.end(), it->node) == out.end()) {
+        out.push_back(it->node);
+      }
+      ++it;
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t position;
+    NodeT node;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.position != b.position) return a.position < b.position;
+      return a.node < b.node;
+    }
+  };
+
+  [[nodiscard]] const Entry& walk(std::uint64_t key) const {
+    const std::uint64_t pos = mix64(key);
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), pos,
+                               [](const Entry& e, std::uint64_t p) {
+                                 return e.position < p;
+                               });
+    if (it == ring_.end()) it = ring_.begin();
+    return *it;
+  }
+
+  int vnodes_per_node_;
+  std::vector<Entry> ring_;
+  std::vector<NodeT> nodes_;
+};
+
+}  // namespace neutrino::geo

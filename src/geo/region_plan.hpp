@@ -1,0 +1,120 @@
+// Deployment planning from geography (Fig. 6): carve a service area into
+// level-1 regions via geohashing and derive the level-2 grouping from the
+// geohash parent relation.
+//
+// With 2 bits per character (§5), truncating one character widens a cell
+// exactly 4x — so every level-2 region contains exactly four level-1
+// regions, which is what TopologyConfig's uniform l1_per_l2 expresses.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/topology.hpp"
+#include "geo/geohash.hpp"
+
+namespace neutrino::geo {
+
+struct PlannedRegion {
+  std::string geohash;         // level-1 cell (deployment unit: CTA + CPFs)
+  std::string parent_geohash;  // level-2 cell (replication domain)
+  GeoCell cell;
+  std::uint32_t region_index = 0;  // index used by core::TopologyConfig
+};
+
+class RegionPlan {
+ public:
+  /// Carve `area` into the level-1 cells of the given geohash precision
+  /// that intersect it. Regions are ordered by parent so that
+  /// TopologyConfig::l2_of(index) == index / 4 matches the geography.
+  static RegionPlan from_area(const GeoCell& area, int l1_precision) {
+    RegionPlan plan;
+    plan.l1_precision_ = l1_precision;
+    // Enumerate candidate cells by stepping through the area at the cell
+    // pitch and hashing the sample points (grid-aligned by construction).
+    const GeoCell probe_cell =
+        geohash_decode(geohash_encode(area.center(), l1_precision));
+    const double dlat = probe_cell.lat_hi - probe_cell.lat_lo;
+    const double dlon = probe_cell.lon_hi - probe_cell.lon_lo;
+    std::vector<std::string> hashes;
+    for (double lat = area.lat_lo + dlat / 2; lat < area.lat_hi;
+         lat += dlat) {
+      for (double lon = area.lon_lo + dlon / 2; lon < area.lon_hi;
+           lon += dlon) {
+        hashes.push_back(geohash_encode({lat, lon}, l1_precision));
+      }
+    }
+    std::sort(hashes.begin(), hashes.end());
+    hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+    // Group by parent: lexicographic order on the hash already clusters
+    // siblings (the parent is a strict prefix).
+    for (const std::string& hash : hashes) {
+      PlannedRegion region;
+      region.geohash = hash;
+      region.parent_geohash = std::string(parent_region(hash));
+      region.cell = geohash_decode(hash);
+      region.region_index =
+          static_cast<std::uint32_t>(plan.regions_.size());
+      plan.regions_.push_back(std::move(region));
+    }
+    return plan;
+  }
+
+  [[nodiscard]] const std::vector<PlannedRegion>& regions() const {
+    return regions_;
+  }
+
+  /// The level-1 region serving a position, if the plan covers it.
+  [[nodiscard]] const PlannedRegion* locate(LatLon position) const {
+    const std::string hash = geohash_encode(position, l1_precision_);
+    const auto it =
+        std::find_if(regions_.begin(), regions_.end(),
+                     [&](const PlannedRegion& r) { return r.geohash == hash; });
+    return it == regions_.end() ? nullptr : &*it;
+  }
+
+  /// Regions sharing a level-2 parent with `region` (its replication
+  /// domain, §4.3) — where that UE population's backups may live.
+  [[nodiscard]] std::vector<std::uint32_t> replication_domain(
+      std::uint32_t region_index) const {
+    std::vector<std::uint32_t> out;
+    const auto& parent = regions_[region_index].parent_geohash;
+    for (const PlannedRegion& r : regions_) {
+      if (r.parent_geohash == parent) out.push_back(r.region_index);
+    }
+    return out;
+  }
+
+  /// Express the plan as a core topology. Requires full level-2 quads
+  /// (true whenever the area is a union of level-2 cells; the geohash
+  /// split guarantees exactly four level-1 children per parent).
+  [[nodiscard]] Result<core::TopologyConfig> to_topology(
+      int cpfs_per_region) const {
+    core::TopologyConfig topo;
+    topo.cpfs_per_region = cpfs_per_region;
+    topo.l1_per_l2 = 4;
+    if (regions_.empty() || regions_.size() % 4 != 0) {
+      return make_error(StatusCode::kFailedPrecondition,
+                        "area is not a union of level-2 quads");
+    }
+    for (std::size_t i = 0; i < regions_.size(); i += 4) {
+      const auto& parent = regions_[i].parent_geohash;
+      for (std::size_t j = i; j < i + 4; ++j) {
+        if (regions_[j].parent_geohash != parent) {
+          return make_error(StatusCode::kFailedPrecondition,
+                            "area is not a union of level-2 quads");
+        }
+      }
+    }
+    topo.l2_regions = static_cast<int>(regions_.size() / 4);
+    return topo;
+  }
+
+ private:
+  int l1_precision_ = 8;
+  std::vector<PlannedRegion> regions_;
+};
+
+}  // namespace neutrino::geo

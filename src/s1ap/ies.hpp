@@ -1,0 +1,259 @@
+// S1AP information elements (3GPP TS 36.413, simplified but structurally
+// faithful: hierarchical IEs, CHOICEs, optional fields, octet strings).
+//
+// Every IE declares visit_fields(v) with stable field ids and the 3GPP
+// value constraints, which the ASN.1 PER codec uses for bit-packing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "serialize/schema.hpp"
+
+namespace neutrino::s1ap {
+
+using ser::IntBounds;
+using ser::TaggedUnion;
+
+/// PLMN = Mobile Country Code + Mobile Network Code (3 digits each).
+struct PlmnIdentity {
+  static constexpr std::string_view kTypeName = "PLMN-Identity";
+  std::uint16_t mcc = 0;
+  std::uint16_t mnc = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mcc", mcc, IntBounds{0, 999});
+    v(1, "mnc", mnc, IntBounds{0, 999});
+  }
+  friend bool operator==(const PlmnIdentity&, const PlmnIdentity&) = default;
+};
+
+/// Tracking Area Identity.
+struct Tai {
+  static constexpr std::string_view kTypeName = "TAI";
+  PlmnIdentity plmn;
+  std::uint16_t tac = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "plmn", plmn);
+    v(1, "tac", tac, IntBounds{0, 65535});
+  }
+  friend bool operator==(const Tai&, const Tai&) = default;
+};
+
+/// E-UTRAN Cell Global Identifier (28-bit cell identity).
+struct EutranCgi {
+  static constexpr std::string_view kTypeName = "EUTRAN-CGI";
+  PlmnIdentity plmn;
+  std::uint32_t cell_identity = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "plmn", plmn);
+    v(1, "cell_identity", cell_identity, IntBounds{0, (1 << 28) - 1});
+  }
+  friend bool operator==(const EutranCgi&, const EutranCgi&) = default;
+};
+
+/// Globally Unique Temporary Identity.
+struct Guti {
+  static constexpr std::string_view kTypeName = "GUTI";
+  PlmnIdentity plmn;
+  std::uint16_t mme_group_id = 0;
+  std::uint8_t mme_code = 0;
+  std::uint32_t m_tmsi = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "plmn", plmn);
+    v(1, "mme_group_id", mme_group_id, IntBounds{0, 65535});
+    v(2, "mme_code", mme_code, IntBounds{0, 255});
+    v(3, "m_tmsi", m_tmsi, IntBounds{0, 0xffffffffLL});
+  }
+  friend bool operator==(const Guti&, const Guti&) = default;
+};
+
+/// S-TMSI: the short temporary identity used for paging and service request.
+struct STmsi {
+  static constexpr std::string_view kTypeName = "S-TMSI";
+  std::uint8_t mme_code = 0;
+  std::uint32_t m_tmsi = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_code", mme_code, IntBounds{0, 255});
+    v(1, "m_tmsi", m_tmsi, IntBounds{0, 0xffffffffLL});
+  }
+  friend bool operator==(const STmsi&, const STmsi&) = default;
+};
+
+/// CHOICE over an IPv4 word or an IPv6 byte string: a single-data-element
+/// union, the exact pattern Neutrino's svtable optimizes (§4.4).
+using TransportLayerAddress = TaggedUnion<std::uint32_t, Bytes>;
+
+/// GTP user-plane tunnel endpoint.
+struct GtpTunnel {
+  static constexpr std::string_view kTypeName = "GTP-Tunnel";
+  TransportLayerAddress address = std::uint32_t{0};
+  std::uint32_t teid = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "address", address);
+    v(1, "teid", teid, IntBounds{0, 0xffffffffLL});
+  }
+  friend bool operator==(const GtpTunnel&, const GtpTunnel&) = default;
+};
+
+/// S1AP Cause: CHOICE of five enumerated cause families, each a single
+/// scalar — another svtable beneficiary.
+struct CauseRadioNetwork {
+  static constexpr std::string_view kTypeName = "CauseRadioNetwork";
+  std::uint8_t value = 0;
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "value", value, IntBounds{0, 45});
+  }
+  friend bool operator==(const CauseRadioNetwork&,
+                         const CauseRadioNetwork&) = default;
+};
+
+using Cause = TaggedUnion<std::uint8_t /*radio_network*/,
+                          std::uint16_t /*transport*/, std::uint32_t /*nas*/,
+                          std::uint64_t /*protocol*/, std::string /*misc*/>;
+
+struct UeAggregateMaximumBitrate {
+  static constexpr std::string_view kTypeName = "UEAggregateMaximumBitrate";
+  std::uint64_t dl_bps = 0;
+  std::uint64_t ul_bps = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "dl_bps", dl_bps, IntBounds{0, 10'000'000'000LL});
+    v(1, "ul_bps", ul_bps, IntBounds{0, 10'000'000'000LL});
+  }
+  friend bool operator==(const UeAggregateMaximumBitrate&,
+                         const UeAggregateMaximumBitrate&) = default;
+};
+
+struct SecurityCapabilities {
+  static constexpr std::string_view kTypeName = "UESecurityCapabilities";
+  std::uint16_t encryption_algorithms = 0;
+  std::uint16_t integrity_algorithms = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "encryption_algorithms", encryption_algorithms, IntBounds{0, 65535});
+    v(1, "integrity_algorithms", integrity_algorithms, IntBounds{0, 65535});
+  }
+  friend bool operator==(const SecurityCapabilities&,
+                         const SecurityCapabilities&) = default;
+};
+
+/// E-RAB level QoS parameters.
+struct ErabQos {
+  static constexpr std::string_view kTypeName = "E-RABLevelQoSParameters";
+  std::uint8_t qci = 9;
+  std::uint8_t priority_level = 0;
+  bool preemption_capability = false;
+  bool preemption_vulnerability = false;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "qci", qci, IntBounds{0, 255});
+    v(1, "priority_level", priority_level, IntBounds{0, 15});
+    v(2, "preemption_capability", preemption_capability);
+    v(3, "preemption_vulnerability", preemption_vulnerability);
+  }
+  friend bool operator==(const ErabQos&, const ErabQos&) = default;
+};
+
+/// One E-RAB to be set up (nested: QoS + tunnel + optional NAS PDU).
+struct ErabToBeSetupItem {
+  static constexpr std::string_view kTypeName = "E-RABToBeSetupItem";
+  std::uint8_t erab_id = 0;
+  ErabQos qos;
+  GtpTunnel transport;
+  std::optional<Bytes> nas_pdu;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "erab_id", erab_id, IntBounds{0, 15});
+    v(1, "qos", qos);
+    v(2, "transport", transport);
+    v(3, "nas_pdu", nas_pdu);
+  }
+  friend bool operator==(const ErabToBeSetupItem&,
+                         const ErabToBeSetupItem&) = default;
+};
+
+/// One successfully established E-RAB.
+struct ErabSetupItem {
+  static constexpr std::string_view kTypeName = "E-RABSetupItem";
+  std::uint8_t erab_id = 0;
+  GtpTunnel transport;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "erab_id", erab_id, IntBounds{0, 15});
+    v(1, "transport", transport);
+  }
+  friend bool operator==(const ErabSetupItem&, const ErabSetupItem&) = default;
+};
+
+/// One E-RAB that failed to establish.
+struct ErabFailedItem {
+  static constexpr std::string_view kTypeName = "E-RABFailedItem";
+  std::uint8_t erab_id = 0;
+  Cause cause;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "erab_id", erab_id, IntBounds{0, 15});
+    v(1, "cause", cause);
+  }
+  friend bool operator==(const ErabFailedItem&, const ErabFailedItem&) = default;
+};
+
+/// CHOICE over the UE identity used in paging: S-TMSI or IMSI digits.
+using UePagingIdentity = TaggedUnion<STmsi, Bytes>;
+
+/// CHOICE over UE-associated S1AP ids (both ids / MME id only).
+struct UeS1apIdPair {
+  static constexpr std::string_view kTypeName = "UE-S1AP-ID-pair";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+  }
+  friend bool operator==(const UeS1apIdPair&, const UeS1apIdPair&) = default;
+};
+
+using UeS1apIds = TaggedUnion<UeS1apIdPair, std::uint32_t /*mme id only*/>;
+
+/// Target for a handover: eNB with cell, identified inside the PLMN.
+struct TargetEnbId {
+  static constexpr std::string_view kTypeName = "TargetID";
+  PlmnIdentity plmn;
+  std::uint32_t macro_enb_id = 0;  // 20 bits
+  Tai selected_tai;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "plmn", plmn);
+    v(1, "macro_enb_id", macro_enb_id, IntBounds{0, (1 << 20) - 1});
+    v(2, "selected_tai", selected_tai);
+  }
+  friend bool operator==(const TargetEnbId&, const TargetEnbId&) = default;
+};
+
+}  // namespace neutrino::s1ap

@@ -1,0 +1,595 @@
+// S1AP / NAS / GTP-C control messages used by the control procedures.
+//
+// Message shapes follow 3GPP TS 36.413 (S1AP), TS 24.301 (NAS) and
+// TS 29.274 (GTP-C), simplified to the IEs our procedures exercise. The
+// five messages benchmarked in the paper's Figs. 19-20 are all here:
+// InitialContextSetup{,Response}, ERABSetup{Request,Response} and
+// InitialUEMessage.
+#pragma once
+
+#include "s1ap/ies.hpp"
+
+namespace neutrino::s1ap {
+
+// ---------------------------------------------------------------------------
+// NAS messages (carried opaquely inside S1AP NAS-PDUs).
+// ---------------------------------------------------------------------------
+
+/// CHOICE of EPS mobile identity presented at attach.
+using EpsMobileIdentity = TaggedUnion<Guti, Bytes /*IMSI digits*/>;
+
+struct AttachRequest {
+  static constexpr std::string_view kTypeName = "AttachRequest";
+  std::uint8_t eps_attach_type = 1;  // 1 = EPS attach
+  std::uint8_t nas_key_set_id = 7;
+  EpsMobileIdentity identity;
+  Bytes ue_network_capability;
+  std::optional<Tai> last_visited_tai;
+  std::optional<Bytes> esm_container;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "eps_attach_type", eps_attach_type, IntBounds{0, 7});
+    v(1, "nas_key_set_id", nas_key_set_id, IntBounds{0, 7});
+    v(2, "identity", identity);
+    v(3, "ue_network_capability", ue_network_capability);
+    v(4, "last_visited_tai", last_visited_tai);
+    v(5, "esm_container", esm_container);
+  }
+  friend bool operator==(const AttachRequest&, const AttachRequest&) = default;
+};
+
+struct AttachAccept {
+  static constexpr std::string_view kTypeName = "AttachAccept";
+  std::uint8_t eps_attach_result = 1;
+  Guti guti;
+  std::vector<Tai> tai_list;
+  std::optional<std::uint16_t> t3412_value;
+  Bytes esm_container;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "eps_attach_result", eps_attach_result, IntBounds{0, 7});
+    v(1, "guti", guti);
+    v(2, "tai_list", tai_list);
+    v(3, "t3412_value", t3412_value, IntBounds{0, 65535});
+    v(4, "esm_container", esm_container);
+  }
+  friend bool operator==(const AttachAccept&, const AttachAccept&) = default;
+};
+
+struct AttachComplete {
+  static constexpr std::string_view kTypeName = "AttachComplete";
+  Bytes esm_container;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "esm_container", esm_container);
+  }
+  friend bool operator==(const AttachComplete&, const AttachComplete&) = default;
+};
+
+struct AuthenticationRequest {
+  static constexpr std::string_view kTypeName = "AuthenticationRequest";
+  std::uint8_t nas_key_set_id = 0;
+  Bytes rand;  // 16 bytes
+  Bytes autn;  // 16 bytes
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "nas_key_set_id", nas_key_set_id, IntBounds{0, 7});
+    v(1, "rand", rand);
+    v(2, "autn", autn);
+  }
+  friend bool operator==(const AuthenticationRequest&,
+                         const AuthenticationRequest&) = default;
+};
+
+struct AuthenticationResponse {
+  static constexpr std::string_view kTypeName = "AuthenticationResponse";
+  Bytes res;  // 8 bytes
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "res", res);
+  }
+  friend bool operator==(const AuthenticationResponse&,
+                         const AuthenticationResponse&) = default;
+};
+
+struct SecurityModeCommand {
+  static constexpr std::string_view kTypeName = "SecurityModeCommand";
+  std::uint8_t selected_algorithms = 0;
+  std::uint8_t nas_key_set_id = 0;
+  SecurityCapabilities replayed_capabilities;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "selected_algorithms", selected_algorithms, IntBounds{0, 255});
+    v(1, "nas_key_set_id", nas_key_set_id, IntBounds{0, 7});
+    v(2, "replayed_capabilities", replayed_capabilities);
+  }
+  friend bool operator==(const SecurityModeCommand&,
+                         const SecurityModeCommand&) = default;
+};
+
+struct SecurityModeComplete {
+  static constexpr std::string_view kTypeName = "SecurityModeComplete";
+  std::optional<Bytes> imeisv;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "imeisv", imeisv);
+  }
+  friend bool operator==(const SecurityModeComplete&,
+                         const SecurityModeComplete&) = default;
+};
+
+/// NAS service request: tiny by design (it rides in RRC connection setup).
+struct ServiceRequest {
+  static constexpr std::string_view kTypeName = "ServiceRequest";
+  std::uint8_t ksi_sequence = 0;
+  std::uint16_t short_mac = 0;
+  STmsi s_tmsi;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "ksi_sequence", ksi_sequence, IntBounds{0, 255});
+    v(1, "short_mac", short_mac, IntBounds{0, 65535});
+    v(2, "s_tmsi", s_tmsi);
+  }
+  friend bool operator==(const ServiceRequest&, const ServiceRequest&) = default;
+};
+
+/// Tracking Area Update request (issued on idle mobility across TAs).
+struct TrackingAreaUpdateRequest {
+  static constexpr std::string_view kTypeName = "TrackingAreaUpdateRequest";
+  std::uint8_t update_type = 0;
+  Guti old_guti;
+  std::optional<Tai> last_visited_tai;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "update_type", update_type, IntBounds{0, 7});
+    v(1, "old_guti", old_guti);
+    v(2, "last_visited_tai", last_visited_tai);
+  }
+  friend bool operator==(const TrackingAreaUpdateRequest&,
+                         const TrackingAreaUpdateRequest&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// S1AP messages (BS <-> CTA <-> CPF).
+// ---------------------------------------------------------------------------
+
+struct InitialUeMessage {
+  static constexpr std::string_view kTypeName = "InitialUEMessage";
+  std::uint32_t enb_ue_s1ap_id = 0;
+  Bytes nas_pdu;
+  Tai tai;
+  EutranCgi cgi;
+  std::uint8_t rrc_establishment_cause = 0;
+  std::optional<STmsi> s_tmsi;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(1, "nas_pdu", nas_pdu);
+    v(2, "tai", tai);
+    v(3, "cgi", cgi);
+    v(4, "rrc_establishment_cause", rrc_establishment_cause, IntBounds{0, 7});
+    v(5, "s_tmsi", s_tmsi);
+  }
+  friend bool operator==(const InitialUeMessage&,
+                         const InitialUeMessage&) = default;
+};
+
+struct DownlinkNasTransport {
+  static constexpr std::string_view kTypeName = "DownlinkNASTransport";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  Bytes nas_pdu;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "nas_pdu", nas_pdu);
+  }
+  friend bool operator==(const DownlinkNasTransport&,
+                         const DownlinkNasTransport&) = default;
+};
+
+struct UplinkNasTransport {
+  static constexpr std::string_view kTypeName = "UplinkNASTransport";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  Bytes nas_pdu;
+  EutranCgi cgi;
+  Tai tai;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "nas_pdu", nas_pdu);
+    v(3, "cgi", cgi);
+    v(4, "tai", tai);
+  }
+  friend bool operator==(const UplinkNasTransport&,
+                         const UplinkNasTransport&) = default;
+};
+
+struct InitialContextSetupRequest {
+  static constexpr std::string_view kTypeName = "InitialContextSetup";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  UeAggregateMaximumBitrate ambr;
+  std::vector<ErabToBeSetupItem> erabs;
+  SecurityCapabilities security_capabilities;
+  Bytes security_key;  // 32 bytes K_eNB
+  std::optional<Bytes> ue_radio_capability;
+  std::optional<std::uint8_t> csg_membership_status;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "ambr", ambr);
+    v(3, "erabs", erabs);
+    v(4, "security_capabilities", security_capabilities);
+    v(5, "security_key", security_key);
+    v(6, "ue_radio_capability", ue_radio_capability);
+    v(7, "csg_membership_status", csg_membership_status, IntBounds{0, 1});
+  }
+  friend bool operator==(const InitialContextSetupRequest&,
+                         const InitialContextSetupRequest&) = default;
+};
+
+struct InitialContextSetupResponse {
+  static constexpr std::string_view kTypeName = "InitialContextSetupResponse";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  std::vector<ErabSetupItem> erabs_setup;
+  std::optional<std::vector<ErabFailedItem>> erabs_failed;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "erabs_setup", erabs_setup);
+    v(3, "erabs_failed", erabs_failed);
+  }
+  friend bool operator==(const InitialContextSetupResponse&,
+                         const InitialContextSetupResponse&) = default;
+};
+
+struct ErabSetupRequest {
+  static constexpr std::string_view kTypeName = "ERABSetupRequest";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  std::optional<UeAggregateMaximumBitrate> ambr;
+  std::vector<ErabToBeSetupItem> erabs;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "ambr", ambr);
+    v(3, "erabs", erabs);
+  }
+  friend bool operator==(const ErabSetupRequest&,
+                         const ErabSetupRequest&) = default;
+};
+
+struct ErabSetupResponse {
+  static constexpr std::string_view kTypeName = "ERABSetupResponse";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  std::vector<ErabSetupItem> erabs_setup;
+  std::optional<std::vector<ErabFailedItem>> erabs_failed;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "erabs_setup", erabs_setup);
+    v(3, "erabs_failed", erabs_failed);
+  }
+  friend bool operator==(const ErabSetupResponse&,
+                         const ErabSetupResponse&) = default;
+};
+
+struct UeContextReleaseCommand {
+  static constexpr std::string_view kTypeName = "UEContextReleaseCommand";
+  UeS1apIds ids;
+  Cause cause;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "ids", ids);
+    v(1, "cause", cause);
+  }
+  friend bool operator==(const UeContextReleaseCommand&,
+                         const UeContextReleaseCommand&) = default;
+};
+
+struct UeContextReleaseComplete {
+  static constexpr std::string_view kTypeName = "UEContextReleaseComplete";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+  }
+  friend bool operator==(const UeContextReleaseComplete&,
+                         const UeContextReleaseComplete&) = default;
+};
+
+struct Paging {
+  static constexpr std::string_view kTypeName = "Paging";
+  std::uint16_t ue_identity_index = 0;
+  UePagingIdentity paging_identity;
+  std::uint8_t cn_domain = 0;
+  std::vector<Tai> tai_list;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "ue_identity_index", ue_identity_index, IntBounds{0, 1023});
+    v(1, "paging_identity", paging_identity);
+    v(2, "cn_domain", cn_domain, IntBounds{0, 1});
+    v(3, "tai_list", tai_list);
+  }
+  friend bool operator==(const Paging&, const Paging&) = default;
+};
+
+// ---- handover family ------------------------------------------------------
+
+struct HandoverRequired {
+  static constexpr std::string_view kTypeName = "HandoverRequired";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  std::uint8_t handover_type = 0;  // 0 = intra-LTE
+  Cause cause;
+  TargetEnbId target;
+  Bytes source_to_target_container;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "handover_type", handover_type, IntBounds{0, 4});
+    v(3, "cause", cause);
+    v(4, "target", target);
+    v(5, "source_to_target_container", source_to_target_container);
+  }
+  friend bool operator==(const HandoverRequired&,
+                         const HandoverRequired&) = default;
+};
+
+struct HandoverRequest {
+  static constexpr std::string_view kTypeName = "HandoverRequest";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint8_t handover_type = 0;
+  Cause cause;
+  UeAggregateMaximumBitrate ambr;
+  std::vector<ErabToBeSetupItem> erabs;
+  Bytes source_to_target_container;
+  SecurityCapabilities security_capabilities;
+  Bytes security_context;  // NH + NCC
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "handover_type", handover_type, IntBounds{0, 4});
+    v(2, "cause", cause);
+    v(3, "ambr", ambr);
+    v(4, "erabs", erabs);
+    v(5, "source_to_target_container", source_to_target_container);
+    v(6, "security_capabilities", security_capabilities);
+    v(7, "security_context", security_context);
+  }
+  friend bool operator==(const HandoverRequest&,
+                         const HandoverRequest&) = default;
+};
+
+struct ErabAdmittedItem {
+  static constexpr std::string_view kTypeName = "E-RABAdmittedItem";
+  std::uint8_t erab_id = 0;
+  GtpTunnel dl_transport;
+  std::optional<GtpTunnel> ul_transport;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "erab_id", erab_id, IntBounds{0, 15});
+    v(1, "dl_transport", dl_transport);
+    v(2, "ul_transport", ul_transport);
+  }
+  friend bool operator==(const ErabAdmittedItem&,
+                         const ErabAdmittedItem&) = default;
+};
+
+struct HandoverRequestAcknowledge {
+  static constexpr std::string_view kTypeName = "HandoverRequestAcknowledge";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  std::vector<ErabAdmittedItem> erabs_admitted;
+  Bytes target_to_source_container;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "erabs_admitted", erabs_admitted);
+    v(3, "target_to_source_container", target_to_source_container);
+  }
+  friend bool operator==(const HandoverRequestAcknowledge&,
+                         const HandoverRequestAcknowledge&) = default;
+};
+
+struct HandoverCommand {
+  static constexpr std::string_view kTypeName = "HandoverCommand";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  std::uint8_t handover_type = 0;
+  Bytes target_to_source_container;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "handover_type", handover_type, IntBounds{0, 4});
+    v(3, "target_to_source_container", target_to_source_container);
+  }
+  friend bool operator==(const HandoverCommand&, const HandoverCommand&) = default;
+};
+
+struct HandoverNotify {
+  static constexpr std::string_view kTypeName = "HandoverNotify";
+  std::uint32_t mme_ue_s1ap_id = 0;
+  std::uint32_t enb_ue_s1ap_id = 0;
+  EutranCgi cgi;
+  Tai tai;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "mme_ue_s1ap_id", mme_ue_s1ap_id, IntBounds{0, 0xffffffffLL});
+    v(1, "enb_ue_s1ap_id", enb_ue_s1ap_id, IntBounds{0, 0xffffffLL});
+    v(2, "cgi", cgi);
+    v(3, "tai", tai);
+  }
+  friend bool operator==(const HandoverNotify&, const HandoverNotify&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Neutrino-specific: the replicated UE context (§4.2.2) as a wire message.
+// This is the per-procedure checkpoint the primary CPF ships to backups and
+// the migration payload for HandoverMode::kMigrate.
+// ---------------------------------------------------------------------------
+
+struct UeContextCheckpoint {
+  static constexpr std::string_view kTypeName = "UEContextCheckpoint";
+  std::uint64_t imsi = 0;
+  Guti guti;
+  EutranCgi serving_cell;
+  std::vector<Tai> tai_list;
+  std::vector<ErabSetupItem> bearers;  // data-plane endpoint identifiers
+  SecurityCapabilities security_capabilities;
+  Bytes security_context;  // K_ASME-derived material
+  std::uint64_t last_completed_procedure = 0;
+  std::uint64_t last_logical_clock = 0;  // end-of-procedure marker (§4.2.3)
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "imsi", imsi, IntBounds{0, 999'999'999'999'999LL});
+    v(1, "guti", guti);
+    v(2, "serving_cell", serving_cell);
+    v(3, "tai_list", tai_list);
+    v(4, "bearers", bearers);
+    v(5, "security_capabilities", security_capabilities);
+    v(6, "security_context", security_context);
+    v(7, "last_completed_procedure", last_completed_procedure,
+      IntBounds{0, 1LL << 40});
+    v(8, "last_logical_clock", last_logical_clock, IntBounds{0, 1LL << 48});
+  }
+  friend bool operator==(const UeContextCheckpoint&,
+                         const UeContextCheckpoint&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// GTP-C (S11) messages: CPF <-> UPF session management.
+// ---------------------------------------------------------------------------
+
+struct CreateSessionRequest {
+  static constexpr std::string_view kTypeName = "CreateSessionRequest";
+  std::uint64_t imsi = 0;
+  std::uint32_t sender_teid = 0;
+  GtpTunnel control_tunnel;
+  std::vector<ErabToBeSetupItem> bearers;
+  Tai uli_tai;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "imsi", imsi, IntBounds{0, 999'999'999'999'999LL});
+    v(1, "sender_teid", sender_teid, IntBounds{0, 0xffffffffLL});
+    v(2, "control_tunnel", control_tunnel);
+    v(3, "bearers", bearers);
+    v(4, "uli_tai", uli_tai);
+  }
+  friend bool operator==(const CreateSessionRequest&,
+                         const CreateSessionRequest&) = default;
+};
+
+struct CreateSessionResponse {
+  static constexpr std::string_view kTypeName = "CreateSessionResponse";
+  std::uint8_t cause = 0;  // 0 = accepted
+  std::uint32_t upf_teid = 0;
+  std::vector<ErabSetupItem> bearers;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "cause", cause, IntBounds{0, 255});
+    v(1, "upf_teid", upf_teid, IntBounds{0, 0xffffffffLL});
+    v(2, "bearers", bearers);
+  }
+  friend bool operator==(const CreateSessionResponse&,
+                         const CreateSessionResponse&) = default;
+};
+
+struct ModifyBearerRequest {
+  static constexpr std::string_view kTypeName = "ModifyBearerRequest";
+  std::uint32_t upf_teid = 0;
+  std::vector<ErabSetupItem> bearers;  // new downlink endpoints
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "upf_teid", upf_teid, IntBounds{0, 0xffffffffLL});
+    v(1, "bearers", bearers);
+  }
+  friend bool operator==(const ModifyBearerRequest&,
+                         const ModifyBearerRequest&) = default;
+};
+
+struct ModifyBearerResponse {
+  static constexpr std::string_view kTypeName = "ModifyBearerResponse";
+  std::uint8_t cause = 0;
+  std::vector<ErabSetupItem> bearers;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "cause", cause, IntBounds{0, 255});
+    v(1, "bearers", bearers);
+  }
+  friend bool operator==(const ModifyBearerResponse&,
+                         const ModifyBearerResponse&) = default;
+};
+
+struct DeleteSessionRequest {
+  static constexpr std::string_view kTypeName = "DeleteSessionRequest";
+  std::uint32_t upf_teid = 0;
+  std::uint8_t cause = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "upf_teid", upf_teid, IntBounds{0, 0xffffffffLL});
+    v(1, "cause", cause, IntBounds{0, 255});
+  }
+  friend bool operator==(const DeleteSessionRequest&,
+                         const DeleteSessionRequest&) = default;
+};
+
+struct DeleteSessionResponse {
+  static constexpr std::string_view kTypeName = "DeleteSessionResponse";
+  std::uint8_t cause = 0;
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "cause", cause, IntBounds{0, 255});
+  }
+  friend bool operator==(const DeleteSessionResponse&,
+                         const DeleteSessionResponse&) = default;
+};
+
+}  // namespace neutrino::s1ap

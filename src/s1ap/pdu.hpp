@@ -1,0 +1,61 @@
+// Top-level PDU envelope: one CHOICE over every control message, so any
+// message can be carried, logged and serialized uniformly.
+#pragma once
+
+#include "s1ap/messages.hpp"
+
+namespace neutrino::s1ap {
+
+using MessageBody = TaggedUnion<
+    // NAS
+    AttachRequest, AttachAccept, AttachComplete, AuthenticationRequest,
+    AuthenticationResponse, SecurityModeCommand, SecurityModeComplete,
+    ServiceRequest, TrackingAreaUpdateRequest,
+    // S1AP
+    InitialUeMessage, DownlinkNasTransport, UplinkNasTransport,
+    InitialContextSetupRequest, InitialContextSetupResponse, ErabSetupRequest,
+    ErabSetupResponse, UeContextReleaseCommand, UeContextReleaseComplete,
+    Paging, HandoverRequired, HandoverRequest, HandoverRequestAcknowledge,
+    HandoverCommand, HandoverNotify,
+    // GTP-C
+    CreateSessionRequest, CreateSessionResponse, ModifyBearerRequest,
+    ModifyBearerResponse, DeleteSessionRequest, DeleteSessionResponse,
+    // Neutrino replication
+    UeContextCheckpoint>;
+
+struct S1apPdu {
+  static constexpr std::string_view kTypeName = "S1AP-PDU";
+  MessageBody body;
+
+  S1apPdu() = default;
+  template <typename M>
+    requires(!std::is_same_v<std::decay_t<M>, S1apPdu>)
+  explicit S1apPdu(M&& msg) : body(std::forward<M>(msg)) {}
+
+  template <class V>
+  void visit_fields(V&& v) {
+    v(0, "body", body);
+  }
+
+  template <typename M>
+  [[nodiscard]] bool is() const {
+    return body.holds<M>();
+  }
+  template <typename M>
+  [[nodiscard]] const M& get() const {
+    return body.get<M>();
+  }
+
+  friend bool operator==(const S1apPdu&, const S1apPdu&) = default;
+};
+
+/// Human-readable name of the active message (diagnostics, trace dumps).
+inline std::string_view message_name(const S1apPdu& pdu) {
+  std::string_view name = "empty";
+  const_cast<S1apPdu&>(pdu).body.visit_active([&](auto& msg) {
+    name = std::decay_t<decltype(msg)>::kTypeName;
+  });
+  return name;
+}
+
+}  // namespace neutrino::s1ap

@@ -1,0 +1,309 @@
+// Realistic sample instances of the control messages, shared by tests,
+// benches and the simulator's cost calibration.
+//
+// Sizes and cardinalities follow what a real attach/service-request flow
+// carries: 16-byte RAND/AUTN, 32-byte K_eNB, 1-2 E-RABs, a TAI list of a
+// few entries, and a UE radio capability container of ~100 bytes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "s1ap/pdu.hpp"
+
+namespace neutrino::s1ap::samples {
+
+inline Bytes pattern_bytes(std::size_t n, std::uint8_t seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<Byte>(seed + i * 37);
+  }
+  return b;
+}
+
+inline PlmnIdentity plmn() { return {.mcc = 410, .mnc = 1}; }
+
+inline Tai tai(std::uint16_t tac = 0x1234) {
+  return {.plmn = plmn(), .tac = tac};
+}
+
+inline EutranCgi cgi(std::uint32_t cell = 0x00abcde) {
+  return {.plmn = plmn(), .cell_identity = cell};
+}
+
+inline Guti guti(std::uint32_t m_tmsi = 0xdeadbeef) {
+  return {.plmn = plmn(), .mme_group_id = 0x8001, .mme_code = 2,
+          .m_tmsi = m_tmsi};
+}
+
+inline GtpTunnel tunnel(std::uint32_t teid) {
+  GtpTunnel t;
+  t.address = std::uint32_t{0x0a000001 + teid % 16};  // 10.0.0.x
+  t.teid = teid;
+  return t;
+}
+
+inline ErabToBeSetupItem erab_to_setup(std::uint8_t id) {
+  ErabToBeSetupItem item;
+  item.erab_id = id;
+  item.qos = {.qci = 9, .priority_level = 8,
+              .preemption_capability = false,
+              .preemption_vulnerability = true};
+  item.transport = tunnel(0x1000u + id);
+  item.nas_pdu = pattern_bytes(48, id);  // activate-default-bearer request
+  return item;
+}
+
+inline InitialUeMessage initial_ue_message(std::uint32_t enb_id = 77) {
+  InitialUeMessage m;
+  m.enb_ue_s1ap_id = enb_id;
+  m.nas_pdu = pattern_bytes(60, 0x11);  // encoded AttachRequest
+  m.tai = tai();
+  m.cgi = cgi();
+  m.rrc_establishment_cause = 3;  // mo-Signalling
+  m.s_tmsi = STmsi{.mme_code = 2, .m_tmsi = 0xdeadbeef};
+  return m;
+}
+
+inline InitialContextSetupRequest initial_context_setup(
+    std::uint32_t mme_id = 901, std::uint32_t enb_id = 77) {
+  InitialContextSetupRequest m;
+  m.mme_ue_s1ap_id = mme_id;
+  m.enb_ue_s1ap_id = enb_id;
+  m.ambr = {.dl_bps = 100'000'000, .ul_bps = 50'000'000};
+  m.erabs = {erab_to_setup(5), erab_to_setup(6)};
+  m.security_capabilities = {.encryption_algorithms = 0xe0,
+                             .integrity_algorithms = 0xc0};
+  m.security_key = pattern_bytes(32, 0x22);
+  m.ue_radio_capability = pattern_bytes(96, 0x33);
+  m.csg_membership_status = std::uint8_t{1};
+  return m;
+}
+
+inline InitialContextSetupResponse initial_context_setup_response(
+    std::uint32_t mme_id = 901, std::uint32_t enb_id = 77) {
+  InitialContextSetupResponse m;
+  m.mme_ue_s1ap_id = mme_id;
+  m.enb_ue_s1ap_id = enb_id;
+  m.erabs_setup = {{.erab_id = 5, .transport = tunnel(0x2005)},
+                   {.erab_id = 6, .transport = tunnel(0x2006)}};
+  return m;
+}
+
+inline ErabSetupRequest erab_setup_request(std::uint32_t mme_id = 901,
+                                           std::uint32_t enb_id = 77) {
+  ErabSetupRequest m;
+  m.mme_ue_s1ap_id = mme_id;
+  m.enb_ue_s1ap_id = enb_id;
+  m.ambr = UeAggregateMaximumBitrate{.dl_bps = 100'000'000,
+                                     .ul_bps = 50'000'000};
+  m.erabs = {erab_to_setup(7)};
+  return m;
+}
+
+inline ErabSetupResponse erab_setup_response(std::uint32_t mme_id = 901,
+                                             std::uint32_t enb_id = 77) {
+  ErabSetupResponse m;
+  m.mme_ue_s1ap_id = mme_id;
+  m.enb_ue_s1ap_id = enb_id;
+  m.erabs_setup = {{.erab_id = 7, .transport = tunnel(0x2007)}};
+  ErabFailedItem failed;
+  failed.erab_id = 8;
+  failed.cause = std::uint8_t{21};  // radio-network: unknown E-RAB id
+  m.erabs_failed = std::vector<ErabFailedItem>{failed};
+  return m;
+}
+
+inline AttachRequest attach_request(std::uint64_t imsi = 410012345678901ULL) {
+  AttachRequest m;
+  m.eps_attach_type = 1;
+  m.nas_key_set_id = 7;
+  m.identity = guti(static_cast<std::uint32_t>(imsi));
+  m.ue_network_capability = pattern_bytes(8, 0x44);
+  m.last_visited_tai = tai(0x1200);
+  m.esm_container = pattern_bytes(24, 0x55);
+  return m;
+}
+
+inline AttachAccept attach_accept() {
+  AttachAccept m;
+  m.eps_attach_result = 1;
+  m.guti = guti();
+  m.tai_list = {tai(0x1234), tai(0x1235), tai(0x1236)};
+  m.t3412_value = std::uint16_t{5400};
+  m.esm_container = pattern_bytes(40, 0x66);
+  return m;
+}
+
+inline ServiceRequest service_request(std::uint32_t m_tmsi = 0xdeadbeef) {
+  ServiceRequest m;
+  m.ksi_sequence = 0x35;
+  m.short_mac = 0xbeef;
+  m.s_tmsi = {.mme_code = 2, .m_tmsi = m_tmsi};
+  return m;
+}
+
+inline HandoverRequired handover_required(std::uint32_t mme_id = 901) {
+  HandoverRequired m;
+  m.mme_ue_s1ap_id = mme_id;
+  m.enb_ue_s1ap_id = 77;
+  m.handover_type = 0;
+  m.cause = std::uint8_t{2};  // radio-network: handover-desirable
+  m.target = {.plmn = plmn(), .macro_enb_id = 0x5432,
+              .selected_tai = tai(0x1300)};
+  m.source_to_target_container = pattern_bytes(120, 0x77);
+  return m;
+}
+
+inline HandoverRequest handover_request(std::uint32_t mme_id = 901) {
+  HandoverRequest m;
+  m.mme_ue_s1ap_id = mme_id;
+  m.handover_type = 0;
+  m.cause = std::uint8_t{2};
+  m.ambr = {.dl_bps = 100'000'000, .ul_bps = 50'000'000};
+  m.erabs = {erab_to_setup(5)};
+  m.source_to_target_container = pattern_bytes(120, 0x77);
+  m.security_capabilities = {.encryption_algorithms = 0xe0,
+                             .integrity_algorithms = 0xc0};
+  m.security_context = pattern_bytes(33, 0x88);
+  return m;
+}
+
+inline Paging paging() {
+  Paging m;
+  m.ue_identity_index = 0x2a1;
+  m.paging_identity = STmsi{.mme_code = 2, .m_tmsi = 0xdeadbeef};
+  m.cn_domain = 1;
+  m.tai_list = {tai(0x1234), tai(0x1235)};
+  return m;
+}
+
+inline CreateSessionRequest create_session_request() {
+  CreateSessionRequest m;
+  m.imsi = 410012345678901ULL;
+  m.sender_teid = 0x31415;
+  m.control_tunnel = tunnel(0x31415);
+  m.bearers = {erab_to_setup(5)};
+  m.uli_tai = tai();
+  return m;
+}
+
+inline DownlinkNasTransport downlink_nas(std::size_t nas_bytes = 24) {
+  DownlinkNasTransport m;
+  m.mme_ue_s1ap_id = 901;
+  m.enb_ue_s1ap_id = 77;
+  m.nas_pdu = pattern_bytes(nas_bytes, 0xaa);
+  return m;
+}
+
+inline UplinkNasTransport uplink_nas(std::size_t nas_bytes = 16) {
+  UplinkNasTransport m;
+  m.mme_ue_s1ap_id = 901;
+  m.enb_ue_s1ap_id = 77;
+  m.nas_pdu = pattern_bytes(nas_bytes, 0xbb);
+  m.cgi = cgi();
+  m.tai = tai();
+  return m;
+}
+
+inline HandoverRequestAcknowledge handover_request_ack() {
+  HandoverRequestAcknowledge m;
+  m.mme_ue_s1ap_id = 901;
+  m.enb_ue_s1ap_id = 78;
+  m.erabs_admitted = {{.erab_id = 5, .dl_transport = tunnel(0x3005),
+                       .ul_transport = tunnel(0x3006)}};
+  m.target_to_source_container = pattern_bytes(80, 0xcc);
+  return m;
+}
+
+inline HandoverCommand handover_command() {
+  HandoverCommand m;
+  m.mme_ue_s1ap_id = 901;
+  m.enb_ue_s1ap_id = 77;
+  m.handover_type = 0;
+  m.target_to_source_container = pattern_bytes(80, 0xcc);
+  return m;
+}
+
+inline HandoverNotify handover_notify() {
+  HandoverNotify m;
+  m.mme_ue_s1ap_id = 901;
+  m.enb_ue_s1ap_id = 78;
+  m.cgi = cgi(0x00abcdf);
+  m.tai = tai(0x1300);
+  return m;
+}
+
+inline UeContextReleaseCommand ue_context_release_command() {
+  UeContextReleaseCommand m;
+  m.ids = UeS1apIdPair{.mme_ue_s1ap_id = 901, .enb_ue_s1ap_id = 77};
+  m.cause = std::uint8_t{20};  // radio-network
+  return m;
+}
+
+inline UeContextReleaseComplete ue_context_release_complete() {
+  return {.mme_ue_s1ap_id = 901, .enb_ue_s1ap_id = 77};
+}
+
+inline CreateSessionResponse create_session_response() {
+  CreateSessionResponse m;
+  m.cause = 0;
+  m.upf_teid = 0x27182;
+  m.bearers = {{.erab_id = 5, .transport = tunnel(0x2005)}};
+  return m;
+}
+
+inline ModifyBearerRequest modify_bearer_request() {
+  ModifyBearerRequest m;
+  m.upf_teid = 0x27182;
+  m.bearers = {{.erab_id = 5, .transport = tunnel(0x2008)}};
+  return m;
+}
+
+inline ModifyBearerResponse modify_bearer_response() {
+  ModifyBearerResponse m;
+  m.cause = 0;
+  m.bearers = {{.erab_id = 5, .transport = tunnel(0x2008)}};
+  return m;
+}
+
+inline TrackingAreaUpdateRequest tracking_area_update() {
+  TrackingAreaUpdateRequest m;
+  m.update_type = 0;
+  m.old_guti = guti();
+  m.last_visited_tai = tai(0x1200);
+  return m;
+}
+
+inline UeContextCheckpoint ue_context_checkpoint() {
+  UeContextCheckpoint m;
+  m.imsi = 410012345678901ULL;
+  m.guti = guti();
+  m.serving_cell = cgi();
+  m.tai_list = {tai(0x1234), tai(0x1235), tai(0x1236)};
+  m.bearers = {{.erab_id = 5, .transport = tunnel(0x2005)},
+               {.erab_id = 6, .transport = tunnel(0x2006)}};
+  m.security_capabilities = {.encryption_algorithms = 0xe0,
+                             .integrity_algorithms = 0xc0};
+  m.security_context = pattern_bytes(32, 0xdd);
+  m.last_completed_procedure = 17;
+  m.last_logical_clock = 93;
+  return m;
+}
+
+/// The five messages measured in the paper's Figs. 19-20, in x-axis order.
+struct NamedPdu {
+  std::string_view name;
+  S1apPdu pdu;
+};
+
+inline std::vector<NamedPdu> figure19_messages() {
+  return {
+      {"InitialContextSetup", S1apPdu(initial_context_setup())},
+      {"InitialContextSetupResponse",
+       S1apPdu(initial_context_setup_response())},
+      {"ERABSetupRequest", S1apPdu(erab_setup_request())},
+      {"ERABSetupResponse", S1apPdu(erab_setup_response())},
+      {"InitialUEMessage", S1apPdu(initial_ue_message())},
+  };
+}
+
+}  // namespace neutrino::s1ap::samples

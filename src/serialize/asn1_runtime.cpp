@@ -1,0 +1,139 @@
+#include "serialize/asn1_runtime.hpp"
+
+#include <bit>
+#include <memory>
+
+namespace neutrino::ser::asn1rt {
+namespace {
+
+constexpr unsigned bits_for_range(std::uint64_t range) {
+  return range <= 1 ? 0 : static_cast<unsigned>(std::bit_width(range - 1));
+}
+
+// ---- length determinant (aligned PER, 1- and 2-byte forms) ---------------
+
+void encode_length_impl(wire::BitWriter& w, std::size_t n) {
+  w.align();
+  if (n < 128) {
+    w.put_aligned_u8(static_cast<std::uint8_t>(n));
+  } else {
+    w.put_aligned_u8(static_cast<std::uint8_t>(0x80 | (n >> 8)));
+    w.put_aligned_u8(static_cast<std::uint8_t>(n & 0xff));
+  }
+}
+
+std::size_t decode_length_impl(wire::BitReader& r, Status& status) {
+  auto first = r.get_aligned_u8();
+  if (!first) {
+    status = first.status();
+    return 0;
+  }
+  if ((*first & 0x80) == 0) return *first;
+  auto second = r.get_aligned_u8();
+  if (!second) {
+    status = second.status();
+    return 0;
+  }
+  return (static_cast<std::size_t>(*first & 0x3f) << 8) | *second;
+}
+
+// ---- constrained whole number ---------------------------------------------
+
+void encode_int_impl(wire::BitWriter& w, IntBounds bounds, std::int64_t v) {
+  const auto offset = static_cast<std::uint64_t>(v - bounds.lo);
+  const unsigned nbits = bits_for_range(bounds.range());
+  if (nbits == 0) return;  // single-valued range encodes to nothing
+  if (nbits <= 8) {
+    w.put_bits(offset, nbits);
+  } else {
+    const unsigned nbytes = (nbits + 7) / 8;
+    w.align();
+    for (unsigned i = nbytes; i-- > 0;) {
+      w.put_aligned_u8(static_cast<std::uint8_t>(offset >> (8 * i)));
+    }
+  }
+}
+
+std::int64_t decode_int_impl(wire::BitReader& r, IntBounds bounds,
+                             Status& status) {
+  const unsigned nbits = bits_for_range(bounds.range());
+  if (nbits == 0) return bounds.lo;
+  // asn1c's NativeInteger decoder callocs an intermediate long and frees it
+  // after the caller copies the value out; reproduce that allocation.
+  auto intermediate = std::make_unique<std::int64_t>();
+  std::uint64_t offset = 0;
+  if (nbits <= 8) {
+    auto v = r.get_bits(nbits);
+    if (!v) {
+      status = v.status();
+      return 0;
+    }
+    offset = *v;
+  } else {
+    const unsigned nbytes = (nbits + 7) / 8;
+    if (auto st = r.align(); !st.is_ok()) {
+      status = st;
+      return 0;
+    }
+    for (unsigned i = 0; i < nbytes; ++i) {
+      auto b = r.get_aligned_u8();
+      if (!b) {
+        status = b.status();
+        return 0;
+      }
+      offset = (offset << 8) | *b;
+    }
+  }
+  *intermediate = bounds.lo + static_cast<std::int64_t>(offset);
+  return *intermediate;
+}
+
+// ---- octet string ----------------------------------------------------------
+
+void encode_octets_impl(wire::BitWriter& w, const Byte* data, std::size_t n) {
+  encode_length_impl(w, n);
+  w.put_aligned_bytes(BytesView(data, n));
+}
+
+Bytes* decode_octets_impl(wire::BitReader& r, Status& status) {
+  const std::size_t n = decode_length_impl(r, status);
+  if (!status.is_ok()) return nullptr;
+  auto bytes = r.get_aligned_bytes(n);
+  if (!bytes) {
+    status = bytes.status();
+    return nullptr;
+  }
+  // asn1c hands back an OCTET_STRING_t with its own heap buffer which the
+  // application then copies into its structures; model both steps.
+  return new Bytes(bytes->begin(), bytes->end());
+}
+
+// ---- boolean ----------------------------------------------------------------
+
+void encode_bool_impl(wire::BitWriter& w, bool v) { w.put_bit(v); }
+
+bool decode_bool_impl(wire::BitReader& r, Status& status) {
+  auto bit = r.get_bit();
+  if (!bit) {
+    status = bit.status();
+    return false;
+  }
+  return *bit;
+}
+
+constexpr PerPrimitiveOps kOps = {
+    .decode_constrained_int = decode_int_impl,
+    .encode_constrained_int = encode_int_impl,
+    .decode_octet_string = decode_octets_impl,
+    .encode_octet_string = encode_octets_impl,
+    .decode_bool = decode_bool_impl,
+    .encode_bool = encode_bool_impl,
+    .decode_length = decode_length_impl,
+    .encode_length = encode_length_impl,
+};
+
+}  // namespace
+
+const PerPrimitiveOps& per_ops() { return kOps; }
+
+}  // namespace neutrino::ser::asn1rt

@@ -1,0 +1,46 @@
+// asn1c-style runtime support layer for the PER codec.
+//
+// The paper's ASN.1 baseline is the asn1c compiler used by OpenAirInterface.
+// asn1c-generated code is *table-interpreted*: every primitive runs through
+// an asn_TYPE_operation_s function-pointer table in the support library, and
+// decoding materializes each field in a freshly calloc'd intermediate before
+// the application copies it out — the paper names exactly these behaviours
+// ("traverse all the previous bytes", "additional memory allocations during
+// decoding", §3.2) as the reason ASN.1 is slow.
+//
+// To keep our from-scratch PER codec faithful to that baseline rather than
+// to an idealized inlined PER, all primitive operations are routed through
+// this indirection table (definitions live in asn1_runtime.cpp and are not
+// inlinable across the TU boundary), and the decode paths allocate the same
+// intermediates asn1c would.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "serialize/schema.hpp"
+#include "serialize/wire.hpp"
+
+namespace neutrino::ser::asn1rt {
+
+/// Function-pointer table mirroring asn1c's asn_TYPE_operation_s.
+struct PerPrimitiveOps {
+  std::int64_t (*decode_constrained_int)(wire::BitReader&, IntBounds,
+                                         Status&);
+  void (*encode_constrained_int)(wire::BitWriter&, IntBounds, std::int64_t);
+
+  /// Returns a heap-allocated buffer (asn1c OCTET_STRING_t analog); the
+  /// caller copies out and frees, as application code must with asn1c.
+  Bytes* (*decode_octet_string)(wire::BitReader&, Status&);
+  void (*encode_octet_string)(wire::BitWriter&, const Byte*, std::size_t);
+
+  bool (*decode_bool)(wire::BitReader&, Status&);
+  void (*encode_bool)(wire::BitWriter&, bool);
+
+  std::size_t (*decode_length)(wire::BitReader&, Status&);
+  void (*encode_length)(wire::BitWriter&, std::size_t);
+};
+
+/// The live operation table (never null).
+const PerPrimitiveOps& per_ops();
+
+}  // namespace neutrino::ser::asn1rt

@@ -1,0 +1,55 @@
+// ASN.1 aligned-PER codec (subset), asn1c-architecture.
+//
+// Implements the Packed Encoding Rules behaviours that matter for the
+// paper's argument (§3.2): SEQUENCE optional-presence preamble bits,
+// bit-packed constrained integers, octet-aligned length determinants, and
+// strictly sequential decoding — reaching field k requires decoding fields
+// 1..k-1.
+//
+// Architecture matters as much as format here: the paper's baseline is
+// asn1c (via OpenAirInterface), whose generated artifacts are runtime
+// descriptor *tables* interpreted by a support library, with heap-allocated
+// decode intermediates. This codec therefore delegates to the descriptor
+// interpreter in asn1_interp.hpp instead of compiling the message walk
+// inline — see that header for the faithfulness argument.
+//
+// Not the full X.691 grammar (no extension markers, no unbounded lengths
+// beyond 16K); it is the encoding used by our S1AP message set.
+#pragma once
+
+#include "serialize/asn1_interp.hpp"
+
+namespace neutrino::ser {
+
+class Asn1Encoder {
+ public:
+  template <FieldStruct M>
+  static Bytes encode(const M& msg) {
+    // An asn1c application cannot encode its internal representation
+    // directly: it first builds the generated asn1c struct tree (one deep
+    // copy with per-node allocation), encodes it, then frees the tree.
+    auto staged = std::make_unique<M>(msg);
+    wire::BitWriter writer;
+    asn1i::Interp::encode(asn1i::rt_type<M>(), staged.get(), writer);
+    return std::move(writer).take();
+  }
+};
+
+class Asn1Decoder {
+ public:
+  template <FieldStruct M>
+  static Result<M> decode(BytesView data) {
+    // Decode lands in a heap-allocated asn1c tree; the application copies
+    // the fields out and ASN_STRUCT_FREE releases the tree.
+    wire::BitReader reader(data);
+    auto tree = std::make_unique<M>();
+    if (Status st =
+            asn1i::Interp::decode(asn1i::rt_type<M>(), tree.get(), reader);
+        !st.is_ok()) {
+      return st;
+    }
+    return M(*tree);
+  }
+};
+
+}  // namespace neutrino::ser

@@ -1,0 +1,88 @@
+// Uniform entry point over all wire formats.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "serialize/asn1per.hpp"
+#include "serialize/cdr.hpp"
+#include "serialize/flatbuf.hpp"
+#include "serialize/flexbuf.hpp"
+#include "serialize/lcm.hpp"
+#include "serialize/protobuf.hpp"
+
+namespace neutrino::ser {
+
+enum class WireFormat {
+  kAsn1Per,
+  kFlatBuffers,
+  kOptimizedFlatBuffers,  // Neutrino's svtable variant (§4.4)
+  kProtobuf,
+  kFastCdr,
+  kLcm,
+  kFlexBuffers,
+};
+
+inline constexpr std::array kAllWireFormats = {
+    WireFormat::kAsn1Per,      WireFormat::kFlatBuffers,
+    WireFormat::kOptimizedFlatBuffers, WireFormat::kProtobuf,
+    WireFormat::kFastCdr,      WireFormat::kLcm,
+    WireFormat::kFlexBuffers,
+};
+
+constexpr std::string_view to_string(WireFormat f) {
+  switch (f) {
+    case WireFormat::kAsn1Per: return "ASN.1-PER";
+    case WireFormat::kFlatBuffers: return "FlatBuffers";
+    case WireFormat::kOptimizedFlatBuffers: return "OptimizedFlatBuffers";
+    case WireFormat::kProtobuf: return "ProtocolBuffers";
+    case WireFormat::kFastCdr: return "Fast-CDR";
+    case WireFormat::kLcm: return "LCM";
+    case WireFormat::kFlexBuffers: return "FlexBuffers";
+  }
+  return "?";
+}
+
+template <FieldStruct M>
+Bytes encode(WireFormat format, const M& msg) {
+  switch (format) {
+    case WireFormat::kAsn1Per:
+      return Asn1Encoder::encode(msg);
+    case WireFormat::kFlatBuffers:
+      return FlatBufEncoder::encode(msg, FlatBufMode::kStandard);
+    case WireFormat::kOptimizedFlatBuffers:
+      return FlatBufEncoder::encode(msg, FlatBufMode::kOptimized);
+    case WireFormat::kProtobuf:
+      return ProtobufEncoder::encode(msg);
+    case WireFormat::kFastCdr:
+      return CdrEncoder::encode(msg);
+    case WireFormat::kLcm:
+      return LcmEncoder::encode(msg);
+    case WireFormat::kFlexBuffers:
+      return FlexBufEncoder::encode(msg);
+  }
+  return {};
+}
+
+template <FieldStruct M>
+Result<M> decode(WireFormat format, BytesView data) {
+  switch (format) {
+    case WireFormat::kAsn1Per:
+      return Asn1Decoder::decode<M>(data);
+    case WireFormat::kFlatBuffers:
+      return FlatBufDecoder::decode<M>(data, FlatBufMode::kStandard);
+    case WireFormat::kOptimizedFlatBuffers:
+      return FlatBufDecoder::decode<M>(data, FlatBufMode::kOptimized);
+    case WireFormat::kProtobuf:
+      return ProtobufDecoder::decode<M>(data);
+    case WireFormat::kFastCdr:
+      return CdrDecoder::decode<M>(data);
+    case WireFormat::kLcm:
+      return LcmDecoder::decode<M>(data);
+    case WireFormat::kFlexBuffers:
+      return FlexBufDecoder::decode<M>(data);
+  }
+  return make_error(StatusCode::kInvalidArgument, "unknown format");
+}
+
+}  // namespace neutrino::ser

@@ -1,0 +1,233 @@
+// FlexBuffers-style codec: schemaless, self-describing encoding.
+//
+// The defining cost sources of the real format are reproduced: every value
+// carries a type tag, structs are maps whose *string keys* travel on the
+// wire, and a reader locates a field by key comparison rather than by a
+// schema-known offset. That per-field key traffic is why FlexBuffers sits
+// near the bottom of the Fig. 18 speedup ranking despite being binary.
+#pragma once
+
+#include "serialize/schema.hpp"
+#include "serialize/wire.hpp"
+
+namespace neutrino::ser {
+
+namespace flex_detail {
+
+enum class Tag : std::uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kUInt = 2,    // u64 little-endian
+  kString = 3,  // u32 length + bytes
+  kBytes = 4,
+  kMap = 5,     // u16 entry count + (key, value)*
+  kVector = 6,  // u32 count + values
+  kUnion = 7,   // u8 discriminant + value
+};
+
+inline void put_key(wire::ByteWriter& w, std::string_view key) {
+  w.put_u8(static_cast<std::uint8_t>(key.size()));
+  w.put_bytes(BytesView(reinterpret_cast<const Byte*>(key.data()),
+                        key.size()));
+}
+
+inline Result<std::string_view> get_key(wire::ByteReader& r) {
+  auto len = r.get_u8();
+  if (!len) return len.status();
+  auto bytes = r.get_bytes(*len);
+  if (!bytes) return bytes.status();
+  return std::string_view(reinterpret_cast<const char*>(bytes->data()),
+                          bytes->size());
+}
+
+}  // namespace flex_detail
+
+class FlexBufEncoder {
+ public:
+  template <FieldStruct M>
+  static Bytes encode(const M& msg) {
+    FlexBufEncoder enc;
+    enc.encode_struct(const_cast<M&>(msg));
+    return std::move(enc.writer_).take();
+  }
+
+  template <typename T>
+  void field(int /*id*/, std::string_view name, T& value,
+             IntBounds /*bounds*/ = {}) {
+    flex_detail::put_key(writer_, name);
+    encode_value(value);
+  }
+
+ private:
+  using Tag = flex_detail::Tag;
+
+  void put_tag(Tag t) { writer_.put_u8(static_cast<std::uint8_t>(t)); }
+
+  template <FieldStruct M>
+  void encode_struct(M& msg) {
+    put_tag(Tag::kMap);
+    const std::size_t count = field_count(msg);
+    writer_.put_le<std::uint16_t>(static_cast<std::uint16_t>(count));
+    msg.visit_fields([this](auto&&... args) { this->field(args...); });
+  }
+
+  template <typename T>
+  void encode_value(T& value) {
+    if constexpr (std::is_same_v<T, bool>) {
+      put_tag(Tag::kBool);
+      writer_.put_u8(value ? 1 : 0);
+    } else if constexpr (ScalarField<T>) {
+      put_tag(Tag::kUInt);
+      writer_.put_le<std::uint64_t>(static_cast<std::uint64_t>(
+          static_cast<std::make_unsigned_t<T>>(value)));
+    } else if constexpr (StringField<T> || BytesField<T>) {
+      put_tag(StringField<T> ? Tag::kString : Tag::kBytes);
+      writer_.put_le<std::uint32_t>(static_cast<std::uint32_t>(value.size()));
+      writer_.put_bytes(BytesView(
+          reinterpret_cast<const Byte*>(value.data()), value.size()));
+    } else if constexpr (is_optional<T>::value) {
+      if (value.has_value()) {
+        encode_value(*value);
+      } else {
+        put_tag(Tag::kNull);
+      }
+    } else if constexpr (is_tagged_union<T>::value) {
+      put_tag(Tag::kUnion);
+      writer_.put_u8(value.has_value()
+                         ? static_cast<std::uint8_t>(value.index() + 1)
+                         : 0);
+      value.visit_active([&](auto& alt) { encode_value(alt); });
+    } else if constexpr (is_std_vector<T>::value) {
+      put_tag(Tag::kVector);
+      writer_.put_le<std::uint32_t>(static_cast<std::uint32_t>(value.size()));
+      for (auto& element : value) encode_value(element);
+    } else {
+      static_assert(FieldStruct<T>, "unsupported field type");
+      encode_struct(value);
+    }
+  }
+
+  wire::ByteWriter writer_;
+};
+
+class FlexBufDecoder {
+ public:
+  template <FieldStruct M>
+  static Result<M> decode(BytesView data) {
+    M msg{};
+    FlexBufDecoder dec(data);
+    dec.decode_value(msg);
+    if (!dec.status_.is_ok()) return dec.status_;
+    return msg;
+  }
+
+ private:
+  using Tag = flex_detail::Tag;
+
+  explicit FlexBufDecoder(BytesView data) : reader_(data) {}
+
+  void fail(Status st) {
+    if (status_.is_ok()) status_ = std::move(st);
+  }
+
+  /// Read the leading tag, then dispatch.
+  template <typename T>
+  void decode_value(T& value) {
+    if (!status_.is_ok()) return;
+    auto tag = reader_.get_u8();
+    if (!tag) {
+      fail(tag.status());
+      return;
+    }
+    decode_with_tag(static_cast<Tag>(*tag), value);
+  }
+
+  template <typename T>
+  void decode_with_tag(Tag tag, T& value) {
+    if (!status_.is_ok()) return;
+    if constexpr (std::is_same_v<T, bool>) {
+      if (tag != Tag::kBool) return fail(tag_mismatch());
+      if (auto b = reader_.get_u8()) {
+        value = (*b != 0);
+      } else {
+        fail(b.status());
+      }
+    } else if constexpr (ScalarField<T>) {
+      if (tag != Tag::kUInt) return fail(tag_mismatch());
+      if (auto v = reader_.get_le<std::uint64_t>()) {
+        value = static_cast<T>(*v);
+      } else {
+        fail(v.status());
+      }
+    } else if constexpr (StringField<T> || BytesField<T>) {
+      if (tag != (StringField<T> ? Tag::kString : Tag::kBytes)) {
+        return fail(tag_mismatch());
+      }
+      auto len = reader_.get_le<std::uint32_t>();
+      if (!len) return fail(len.status());
+      auto bytes = reader_.get_bytes(*len);
+      if (!bytes) return fail(bytes.status());
+      if constexpr (StringField<T>) {
+        value.assign(reinterpret_cast<const char*>(bytes->data()),
+                     bytes->size());
+      } else {
+        value.assign(bytes->begin(), bytes->end());
+      }
+    } else if constexpr (is_optional<T>::value) {
+      if (tag == Tag::kNull) {
+        value.reset();
+      } else {
+        decode_with_tag(tag, value.emplace());
+      }
+    } else if constexpr (is_tagged_union<T>::value) {
+      if (tag != Tag::kUnion) return fail(tag_mismatch());
+      auto disc = reader_.get_u8();
+      if (!disc) return fail(disc.status());
+      if (*disc == 0) return;
+      const bool ok = value.emplace_by_index(
+          *disc - 1, [&](auto& alt) { decode_value(alt); });
+      if (!ok) fail(make_error(StatusCode::kMalformed, "bad flex union"));
+    } else if constexpr (is_std_vector<T>::value) {
+      if (tag != Tag::kVector) return fail(tag_mismatch());
+      auto count = reader_.get_le<std::uint32_t>();
+      if (!count) return fail(count.status());
+      value.clear();
+      // A corrupted count must not drive allocation beyond the input size.
+      value.reserve(std::min<std::size_t>(*count, reader_.remaining() + 1));
+      for (std::uint32_t i = 0; i < *count && status_.is_ok(); ++i) {
+        decode_value(value.emplace_back());
+      }
+    } else {
+      static_assert(FieldStruct<T>, "unsupported field type");
+      if (tag != Tag::kMap) return fail(tag_mismatch());
+      auto count = reader_.get_le<std::uint16_t>();
+      if (!count) return fail(count.status());
+      value.visit_fields([this](int /*id*/, std::string_view name,
+                                auto& member, IntBounds /*bounds*/ = {}) {
+        this->decode_field(name, member);
+      });
+    }
+  }
+
+  template <typename T>
+  void decode_field(std::string_view expected_key, T& value) {
+    if (!status_.is_ok()) return;
+    // Self-describing maps are located by key: read and compare, as a real
+    // FlexBuffers reader's key lookup does.
+    auto key = flex_detail::get_key(reader_);
+    if (!key) return fail(key.status());
+    if (*key != expected_key) {
+      return fail(make_error(StatusCode::kMalformed, "flexbuf key mismatch"));
+    }
+    decode_value(value);
+  }
+
+  static Status tag_mismatch() {
+    return make_error(StatusCode::kMalformed, "flexbuf tag mismatch");
+  }
+
+  wire::ByteReader reader_;
+  Status status_;
+};
+
+}  // namespace neutrino::ser

@@ -1,0 +1,174 @@
+// LCM-style codec: big-endian sequential encoding, no alignment.
+//
+// Lightweight Communications and Marshalling has no native unions or
+// unsigned integers (the paper cites exactly this as the reason it cannot
+// express cellular control messages, §4.1/§4.4). We emulate what an LCM
+// user must hand-roll: an int8 presence flag for optionals, an int32
+// discriminant plus the active member for unions, and unsigned fields
+// carried in the same-width signed type (wire-identical). Strings are
+// int32 length including NUL, characters, NUL.
+#pragma once
+
+#include "serialize/schema.hpp"
+#include "serialize/wire.hpp"
+
+namespace neutrino::ser {
+
+class LcmEncoder {
+ public:
+  template <FieldStruct M>
+  static Bytes encode(const M& msg) {
+    LcmEncoder enc;
+    enc.encode_struct(const_cast<M&>(msg));
+    return std::move(enc.writer_).take();
+  }
+
+  template <typename T>
+  void field(int /*id*/, std::string_view /*name*/, T& value,
+             IntBounds /*bounds*/ = {}) {
+    encode_value(value);
+  }
+
+ private:
+  template <FieldStruct M>
+  void encode_struct(M& msg) {
+    msg.visit_fields([this](auto&&... args) { this->field(args...); });
+  }
+
+  template <typename T>
+  void encode_value(T& value) {
+    if constexpr (std::is_same_v<T, bool>) {
+      writer_.put_u8(value ? 1 : 0);
+    } else if constexpr (ScalarField<T>) {
+      writer_.put_be(static_cast<std::make_unsigned_t<T>>(value));
+    } else if constexpr (StringField<T> || BytesField<T>) {
+      writer_.put_be<std::uint32_t>(static_cast<std::uint32_t>(value.size() + 1));
+      writer_.put_bytes(BytesView(
+          reinterpret_cast<const Byte*>(value.data()), value.size()));
+      writer_.put_u8(0);
+    } else if constexpr (is_optional<T>::value) {
+      writer_.put_u8(value.has_value() ? 1 : 0);
+      if (value.has_value()) encode_value(*value);
+    } else if constexpr (is_tagged_union<T>::value) {
+      writer_.put_be<std::int32_t>(
+          value.has_value() ? static_cast<std::int32_t>(value.index() + 1)
+                            : 0);
+      value.visit_active([&](auto& alt) { encode_value(alt); });
+    } else if constexpr (is_std_vector<T>::value) {
+      writer_.put_be<std::int32_t>(static_cast<std::int32_t>(value.size()));
+      for (auto& element : value) encode_value(element);
+    } else {
+      static_assert(FieldStruct<T>, "unsupported field type");
+      encode_struct(value);
+    }
+  }
+
+  wire::ByteWriter writer_;
+};
+
+class LcmDecoder {
+ public:
+  template <FieldStruct M>
+  static Result<M> decode(BytesView data) {
+    M msg{};
+    LcmDecoder dec(data);
+    dec.decode_struct(msg);
+    if (!dec.status_.is_ok()) return dec.status_;
+    return msg;
+  }
+
+ private:
+  explicit LcmDecoder(BytesView data) : reader_(data) {}
+
+  template <FieldStruct M>
+  void decode_struct(M& msg) {
+    msg.visit_fields([this](int /*id*/, std::string_view /*name*/,
+                            auto& value, IntBounds /*bounds*/ = {}) {
+      this->decode_value(value);
+    });
+  }
+
+  template <typename T>
+  void decode_value(T& value) {
+    if (!status_.is_ok()) return;
+    if constexpr (std::is_same_v<T, bool>) {
+      if (auto b = reader_.get_u8()) {
+        value = (*b != 0);
+      } else {
+        status_ = b.status();
+      }
+    } else if constexpr (ScalarField<T>) {
+      if (auto v = reader_.get_be<std::make_unsigned_t<T>>()) {
+        value = static_cast<T>(*v);
+      } else {
+        status_ = v.status();
+      }
+    } else if constexpr (StringField<T> || BytesField<T>) {
+      auto len = reader_.get_be<std::uint32_t>();
+      if (!len) {
+        status_ = len.status();
+        return;
+      }
+      if (*len == 0) {
+        status_ = make_error(StatusCode::kMalformed, "LCM string len 0");
+        return;
+      }
+      auto bytes = reader_.get_bytes(*len - 1);
+      if (!bytes) {
+        status_ = bytes.status();
+        return;
+      }
+      if constexpr (StringField<T>) {
+        value.assign(reinterpret_cast<const char*>(bytes->data()),
+                     bytes->size());
+      } else {
+        value.assign(bytes->begin(), bytes->end());
+      }
+      if (auto st = reader_.skip(1); !st.is_ok()) status_ = st;  // NUL
+    } else if constexpr (is_optional<T>::value) {
+      auto flag = reader_.get_u8();
+      if (!flag) {
+        status_ = flag.status();
+        return;
+      }
+      if (*flag != 0) {
+        decode_value(value.emplace());
+      } else {
+        value.reset();
+      }
+    } else if constexpr (is_tagged_union<T>::value) {
+      auto disc = reader_.get_be<std::int32_t>();
+      if (!disc) {
+        status_ = disc.status();
+        return;
+      }
+      if (*disc == 0) return;
+      const bool ok = value.emplace_by_index(
+          static_cast<std::size_t>(*disc - 1),
+          [&](auto& alt) { decode_value(alt); });
+      if (!ok) status_ = make_error(StatusCode::kMalformed, "bad LCM union");
+    } else if constexpr (is_std_vector<T>::value) {
+      auto count = reader_.get_be<std::int32_t>();
+      if (!count || *count < 0) {
+        status_ = count ? make_error(StatusCode::kMalformed, "bad LCM count")
+                        : count.status();
+        return;
+      }
+      value.clear();
+      // A corrupted count must not drive allocation beyond the input size.
+      value.reserve(std::min<std::size_t>(static_cast<std::size_t>(*count),
+                                          reader_.remaining() + 1));
+      for (std::int32_t i = 0; i < *count && status_.is_ok(); ++i) {
+        decode_value(value.emplace_back());
+      }
+    } else {
+      static_assert(FieldStruct<T>, "unsupported field type");
+      decode_struct(value);
+    }
+  }
+
+  wire::ByteReader reader_;
+  Status status_;
+};
+
+}  // namespace neutrino::ser

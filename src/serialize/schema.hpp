@@ -1,0 +1,191 @@
+// Field-visitor schema layer.
+//
+// Every control message is a plain struct that exposes its fields through
+//
+//   template <class V> void visit_fields(V&& v) [const];
+//
+// calling v.field(id, name, member [, IntBounds]) once per field in a fixed
+// order. Each wire codec is a pair of visitors (encoder / decoder), so a new
+// message definition automatically works with all seven formats and a new
+// format automatically covers every message — mirroring what a schema
+// compiler (flatc, asn1c, protoc) would generate.
+//
+// Field value categories a codec must handle:
+//   * integral scalars (incl. bool), with optional IntBounds for PER
+//   * std::string (character string)
+//   * Bytes (opaque octet string)
+//   * nested FieldStruct (table / SEQUENCE)
+//   * std::optional<T> of any of the above
+//   * std::vector<T> of scalars or FieldStructs
+//   * TaggedUnion<Alts...> (CHOICE / flatbuffers union)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace neutrino::ser {
+
+/// PER integer constraint; also documents the 3GPP value range of a field.
+struct IntBounds {
+  std::int64_t lo = 0;
+  std::int64_t hi = std::int64_t{1} << 62;
+
+  [[nodiscard]] constexpr std::uint64_t range() const {
+    return static_cast<std::uint64_t>(hi - lo) + 1;
+  }
+};
+
+template <typename T>
+concept FieldStruct = requires(T& t) {
+  { t.visit_fields([](auto&&...) {}) };
+  { T::kTypeName } -> std::convertible_to<std::string_view>;
+};
+
+/// CHOICE / union over a fixed set of alternatives.
+///
+/// Alternatives may be integral scalars, std::string, or nested
+/// FieldStructs. Scalar/string alternatives are exactly the
+/// "single data element in a union" case that Neutrino's svtable
+/// optimization targets (§4.4).
+template <typename... Alts>
+class TaggedUnion {
+ public:
+  static constexpr std::size_t kAlternativeCount = sizeof...(Alts);
+
+  TaggedUnion() = default;
+
+  template <typename T>
+    requires(std::disjunction_v<std::is_same<std::decay_t<T>, Alts>...>)
+  TaggedUnion(T&& value) : storage_(std::forward<T>(value)) {}  // NOLINT
+
+  /// 0-based index of the active alternative; npos when unset.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t index() const {
+    return storage_.index() == 0 ? npos : storage_.index() - 1;
+  }
+  [[nodiscard]] bool has_value() const { return storage_.index() != 0; }
+
+  template <typename T>
+  [[nodiscard]] bool holds() const {
+    return std::holds_alternative<T>(storage_);
+  }
+  template <typename T>
+  [[nodiscard]] const T& get() const {
+    return std::get<T>(storage_);
+  }
+  template <typename T>
+  T& emplace() {
+    return storage_.template emplace<T>();
+  }
+
+  /// Invoke f on the active alternative. Precondition: has_value().
+  template <typename F>
+  decltype(auto) visit_active(F&& f) {
+    return std::visit(
+        [&](auto& alt) -> void {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(alt)>,
+                                        std::monostate>) {
+            f(alt);
+          }
+        },
+        storage_);
+  }
+  template <typename F>
+  decltype(auto) visit_active(F&& f) const {
+    return std::visit(
+        [&](const auto& alt) -> void {
+          if constexpr (!std::is_same_v<std::decay_t<decltype(alt)>,
+                                        std::monostate>) {
+            f(alt);
+          }
+        },
+        storage_);
+  }
+
+  /// Default-construct the alternative with the given index and pass it to
+  /// f (decoder path). Returns false for an out-of-range index.
+  template <typename F>
+  bool emplace_by_index(std::size_t index, F&& f) {
+    return emplace_impl(index, std::forward<F>(f),
+                        std::index_sequence_for<Alts...>{});
+  }
+
+  friend bool operator==(const TaggedUnion& a, const TaggedUnion& b) {
+    return a.storage_ == b.storage_;
+  }
+
+ private:
+  template <typename F, std::size_t... Is>
+  bool emplace_impl(std::size_t index, F&& f, std::index_sequence<Is...>) {
+    bool matched = false;
+    (void)((Is == index
+                ? (f(storage_.template emplace<Is + 1>()), matched = true, true)
+                : false) ||
+           ...);
+    return matched;
+  }
+
+  std::variant<std::monostate, Alts...> storage_;
+};
+
+// ---- type-category traits used by codec visitors -------------------------
+
+template <typename T>
+struct is_tagged_union : std::false_type {};
+template <typename... Alts>
+struct is_tagged_union<TaggedUnion<Alts...>> : std::true_type {};
+
+template <typename T>
+struct is_optional : std::false_type {};
+template <typename T>
+struct is_optional<std::optional<T>> : std::true_type {};
+
+template <typename T>
+struct is_std_vector : std::false_type {};
+template <typename T>
+struct is_std_vector<std::vector<T>> : std::true_type {};
+template <>
+struct is_std_vector<Bytes> : std::false_type {};  // Bytes is opaque, not a list
+
+template <typename T>
+concept ScalarField = std::is_integral_v<T> || std::is_enum_v<T>;
+
+template <typename T>
+concept StringField = std::is_same_v<T, std::string>;
+
+template <typename T>
+concept BytesField = std::is_same_v<T, Bytes>;
+
+/// Natural value range of a scalar type, used when no explicit IntBounds is
+/// given (e.g. for CHOICE members): lets width-aware formats like PER encode
+/// a u8 alternative in one byte instead of eight.
+template <typename T>
+constexpr IntBounds natural_bounds() {
+  if constexpr (std::is_integral_v<T> && !std::is_same_v<T, bool>) {
+    using U = std::make_unsigned_t<T>;
+    constexpr std::uint64_t umax = std::numeric_limits<U>::max();
+    constexpr std::uint64_t imax =
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+    return IntBounds{0,
+                     static_cast<std::int64_t>(umax < imax ? umax : imax)};
+  } else {
+    return IntBounds{};
+  }
+}
+
+/// Count the fields a struct declares (used for vtable sizing).
+template <FieldStruct M>
+std::size_t field_count(const M& m) {
+  std::size_t n = 0;
+  const_cast<M&>(m).visit_fields([&](auto&&...) { ++n; });
+  return n;
+}
+
+}  // namespace neutrino::ser

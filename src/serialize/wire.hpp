@@ -1,0 +1,225 @@
+// Bounds-checked byte/bit cursors shared by all wire codecs.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace neutrino::wire {
+
+/// Append-only byte writer, little- and big-endian primitives.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  template <typename T>
+  void put_le(T v) {
+    static_assert(std::is_integral_v<T>);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<Byte>(static_cast<std::make_unsigned_t<T>>(v) >>
+                                       (8 * i)));
+    }
+  }
+
+  template <typename T>
+  void put_be(T v) {
+    static_assert(std::is_integral_v<T>);
+    for (std::size_t i = sizeof(T); i-- > 0;) {
+      buf_.push_back(static_cast<Byte>(static_cast<std::make_unsigned_t<T>>(v) >>
+                                       (8 * i)));
+    }
+  }
+
+  void put_bytes(BytesView data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void put_zeros(std::size_t n) { buf_.insert(buf_.end(), n, Byte{0}); }
+
+  /// Pad with zero bytes until size() is a multiple of `alignment`.
+  void align_to(std::size_t alignment) {
+    while (buf_.size() % alignment != 0) buf_.push_back(0);
+  }
+
+  /// Overwrite previously written bytes (e.g. a length placeholder).
+  void patch_le32(std::size_t offset, std::uint32_t v) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      buf_[offset + i] = static_cast<Byte>(v >> (8 * i));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked sequential reader.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  Result<std::uint8_t> get_u8() {
+    if (remaining() < 1) return truncated();
+    return data_[pos_++];
+  }
+
+  template <typename T>
+  Result<T> get_le() {
+    if (remaining() < sizeof(T)) return truncated();
+    std::make_unsigned_t<T> v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<std::make_unsigned_t<T>>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return static_cast<T>(v);
+  }
+
+  template <typename T>
+  Result<T> get_be() {
+    if (remaining() < sizeof(T)) return truncated();
+    std::make_unsigned_t<T> v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<std::make_unsigned_t<T>>(v << 8) | data_[pos_ + i];
+    }
+    pos_ += sizeof(T);
+    return static_cast<T>(v);
+  }
+
+  Result<BytesView> get_bytes(std::size_t n) {
+    if (remaining() < n) return truncated();
+    BytesView out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  Status skip(std::size_t n) {
+    if (remaining() < n) return truncated_status();
+    pos_ += n;
+    return Status::ok();
+  }
+
+  Status align_to(std::size_t alignment) {
+    while (pos_ % alignment != 0) {
+      if (remaining() < 1) return truncated_status();
+      ++pos_;
+    }
+    return Status::ok();
+  }
+
+ private:
+  static Status truncated_status() {
+    return make_error(StatusCode::kMalformed, "truncated buffer");
+  }
+  static Status truncated() { return truncated_status(); }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// MSB-first bit writer used by the ASN.1 PER codec.
+class BitWriter {
+ public:
+  void put_bit(bool bit) {
+    if (bit_pos_ == 0) buf_.push_back(0);
+    if (bit) buf_.back() |= static_cast<Byte>(1u << (7 - bit_pos_));
+    bit_pos_ = (bit_pos_ + 1) % 8;
+  }
+
+  /// Write the low `nbits` bits of v, MSB first.
+  void put_bits(std::uint64_t v, unsigned nbits) {
+    for (unsigned i = nbits; i-- > 0;) put_bit(((v >> i) & 1u) != 0);
+  }
+
+  /// PER octet alignment: pad the current byte with zero bits.
+  void align() { bit_pos_ = 0; }
+
+  void put_aligned_bytes(BytesView data) {
+    align();
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void put_aligned_u8(std::uint8_t v) {
+    align();
+    buf_.push_back(v);
+  }
+
+  [[nodiscard]] const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size_bytes() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+  unsigned bit_pos_ = 0;  // next free bit within the last byte
+};
+
+/// MSB-first bit reader (ASN.1 PER decode).
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  Result<bool> get_bit() {
+    if (byte_pos_ >= data_.size()) return truncated();
+    const bool bit =
+        ((data_[byte_pos_] >> (7 - bit_pos_)) & 1u) != 0;
+    if (++bit_pos_ == 8) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+    return bit;
+  }
+
+  Result<std::uint64_t> get_bits(unsigned nbits) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+      auto bit = get_bit();
+      if (!bit) return bit.status();
+      v = (v << 1) | (*bit ? 1u : 0u);
+    }
+    return v;
+  }
+
+  Status align() {
+    if (bit_pos_ != 0) {
+      bit_pos_ = 0;
+      ++byte_pos_;
+    }
+    return Status::ok();
+  }
+
+  Result<BytesView> get_aligned_bytes(std::size_t n) {
+    NEUTRINO_RETURN_IF_ERROR(align());
+    if (data_.size() - byte_pos_ < n) return truncated();
+    BytesView out = data_.subspan(byte_pos_, n);
+    byte_pos_ += n;
+    return out;
+  }
+
+  Result<std::uint8_t> get_aligned_u8() {
+    auto bytes = get_aligned_bytes(1);
+    if (!bytes) return bytes.status();
+    return (*bytes)[0];
+  }
+
+ private:
+  static Status truncated() {
+    return make_error(StatusCode::kMalformed, "truncated PER buffer");
+  }
+
+  BytesView data_;
+  std::size_t byte_pos_ = 0;
+  unsigned bit_pos_ = 0;
+};
+
+}  // namespace neutrino::wire

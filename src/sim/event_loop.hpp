@@ -1,0 +1,81 @@
+// Deterministic discrete-event loop, nanosecond resolution.
+//
+// Replaces the paper's DPDK testbed as the execution substrate (see
+// DESIGN.md §2): all latency figures in the PCT experiments emerge from
+// events scheduled here — propagation delays, per-message service times,
+// failure timers. Determinism (stable tie-break by insertion sequence)
+// makes every experiment and test exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace neutrino::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  void schedule_at(SimTime when, Callback cb) {
+    queue_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  void schedule_after(SimTime delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run events until the queue drains or the horizon passes. Events at
+  /// exactly `horizon` still run.
+  void run_until(SimTime horizon) {
+    while (!queue_.empty() && queue_.top().when <= horizon) {
+      Event ev = pop();
+      now_ = ev.when;
+      ev.callback();
+    }
+    if (now_ < horizon) now_ = horizon;
+  }
+
+  /// Run until no events remain.
+  void run() {
+    while (!queue_.empty()) {
+      Event ev = pop();
+      now_ = ev.when;
+      ev.callback();
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // deterministic FIFO tie-break at equal times
+    Callback callback;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  Event pop() {
+    // priority_queue::top() is const&; const_cast to move the callback out
+    // before popping (the element is removed immediately after).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    return ev;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace neutrino::sim

@@ -1,0 +1,54 @@
+// Mobility schedule for the application studies (§6.6, Fig. 12): a vehicle
+// driving past base stations, triggering handovers at cell boundaries.
+#pragma once
+
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace neutrino::trace {
+
+struct MobilityEvent {
+  SimTime at;
+  bool crosses_region;  // inter-CPF handover (different level-1 region)
+};
+
+/// Fig. 12's scenario: BS spacing alternating 700 m / 1000 m, core-network
+/// boundary between them; a 60 mph (26.8 m/s) drive for `duration`.
+class DriveModel {
+ public:
+  struct Params {
+    double speed_mps = 26.8;         // 60 mph
+    double bs_spacing_a_m = 700.0;   // Fig. 12 left gap
+    double bs_spacing_b_m = 1000.0;  // Fig. 12 right gap
+    int bs_per_region = 4;           // BSs between region boundaries
+  };
+
+  DriveModel() : params_(Params{}) {}
+  explicit DriveModel(Params params) : params_(params) {}
+
+  /// Handover instants over the drive; every bs_per_region-th crossing
+  /// changes the serving region (inter-CPF handover).
+  [[nodiscard]] std::vector<MobilityEvent> handovers(SimTime duration) const {
+    std::vector<MobilityEvent> out;
+    double position_m = 0.0;
+    int crossing = 0;
+    while (true) {
+      const double gap = (crossing % 2 == 0) ? params_.bs_spacing_a_m
+                                             : params_.bs_spacing_b_m;
+      position_m += gap;
+      const double t_sec = position_m / params_.speed_mps;
+      const auto at =
+          SimTime::nanoseconds(static_cast<std::int64_t>(t_sec * 1e9));
+      if (at > duration) break;
+      ++crossing;
+      out.push_back({at, crossing % params_.bs_per_region == 0});
+    }
+    return out;
+  }
+
+ private:
+  Params params_;
+};
+
+}  // namespace neutrino::trace

@@ -1,0 +1,172 @@
+// Synthetic control-traffic workloads standing in for the ng4T traces [45]
+// (DESIGN.md §2): the paper uses the commercial traces as (a) an arrival
+// process and (b) a procedure mix; both are published properties that these
+// generators reproduce.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/system.hpp"
+
+namespace neutrino::trace {
+
+/// One control-procedure arrival.
+struct TraceRecord {
+  SimTime at;
+  UeId ue;
+  core::ProcedureType type = core::ProcedureType::kAttach;
+  std::uint32_t target_region = 0;  // handovers
+};
+
+/// Procedure mix (fractions; attach gets the remainder).
+struct ProcedureMix {
+  double service_request = 0.0;
+  double handover = 0.0;
+  double intra_handover = 0.0;
+};
+
+/// §6.1 "uniform traffic to emulate a pre-specified number of control
+/// procedure requests per second": Poisson arrivals at `rate_pps`, each
+/// from a distinct UE of a cycling population.
+class UniformWorkload {
+ public:
+  UniformWorkload(double rate_pps, SimTime duration, ProcedureMix mix,
+                  std::uint64_t seed = 1)
+      : rate_pps_(rate_pps), duration_(duration), mix_(mix), rng_(seed) {}
+
+  std::vector<TraceRecord> generate(std::uint64_t ue_population,
+                                    int regions) {
+    std::vector<TraceRecord> out;
+    out.reserve(static_cast<std::size_t>(rate_pps_ * duration_.sec() * 1.1));
+    double t = 0.0;
+    std::uint64_t next_ue = 0;
+    while (true) {
+      t += rng_.next_exponential(1.0 / rate_pps_);
+      const auto at = SimTime::nanoseconds(static_cast<std::int64_t>(t * 1e9));
+      if (at > duration_) break;
+      TraceRecord rec;
+      rec.at = at;
+      rec.ue = UeId(next_ue);
+      next_ue = (next_ue + 1) % ue_population;
+      const double dice = rng_.next_double();
+      const auto r = static_cast<std::uint32_t>(regions);
+      const auto home = static_cast<std::uint32_t>(rec.ue.value() % r);
+      if (dice < mix_.service_request) {
+        rec.type = core::ProcedureType::kServiceRequest;
+      } else if (dice < mix_.service_request + mix_.handover && regions > 1) {
+        rec.type = core::ProcedureType::kHandover;
+        rec.target_region = (home + 1) % r;
+      } else if (dice < mix_.service_request + mix_.handover +
+                            mix_.intra_handover) {
+        rec.type = core::ProcedureType::kIntraHandover;
+        rec.target_region = home;
+      } else {
+        rec.type = core::ProcedureType::kAttach;
+      }
+      out.push_back(rec);
+    }
+    return out;
+  }
+
+ private:
+  double rate_pps_;
+  SimTime duration_;
+  ProcedureMix mix_;
+  Rng rng_;
+};
+
+/// §6.1 "bursty traffic to emulate a large number of IoT devices sending
+/// requests in a synchronized pattern": `n_users` distinct UEs all issue an
+/// attach within a short window (e.g. a power-restoration or periodic
+/// report synchronization event).
+class BurstyWorkload {
+ public:
+  BurstyWorkload(std::uint64_t n_users, SimTime window,
+                 std::uint64_t seed = 1)
+      : n_users_(n_users), window_(window), rng_(seed) {}
+
+  std::vector<TraceRecord> generate() {
+    std::vector<TraceRecord> out;
+    out.reserve(n_users_);
+    for (std::uint64_t ue = 0; ue < n_users_; ++ue) {
+      TraceRecord rec;
+      rec.at = SimTime::nanoseconds(static_cast<std::int64_t>(
+          rng_.next_double() * static_cast<double>(window_.ns())));
+      rec.ue = UeId(ue);
+      rec.type = core::ProcedureType::kAttach;
+      out.push_back(rec);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceRecord& a, const TraceRecord& b) {
+                return a.at < b.at;
+              });
+    return out;
+  }
+
+ private:
+  std::uint64_t n_users_;
+  SimTime window_;
+  Rng rng_;
+};
+
+/// Per-device behaviour over a long horizon, following the §2.2 statistics:
+/// a device issues a session establishment (service request) every 106.9 s
+/// on average, with attaches and mobility events mixed in.
+class DeviceModelWorkload {
+ public:
+  DeviceModelWorkload(std::uint64_t n_devices, SimTime horizon,
+                      std::uint64_t seed = 7)
+      : n_devices_(n_devices), horizon_(horizon), rng_(seed) {}
+
+  static constexpr double kMeanSessionGapSec = 106.9;  // §2.2 [37]
+
+  std::vector<TraceRecord> generate(int regions) {
+    std::vector<TraceRecord> out;
+    for (std::uint64_t d = 0; d < n_devices_; ++d) {
+      Rng dev_rng(rng_.next_u64());
+      double t = dev_rng.next_double() * kMeanSessionGapSec;
+      const auto home = static_cast<std::uint32_t>(
+          d % static_cast<std::uint64_t>(regions));
+      while (t * 1e9 < static_cast<double>(horizon_.ns())) {
+        TraceRecord rec;
+        rec.at = SimTime::nanoseconds(static_cast<std::int64_t>(t * 1e9));
+        rec.ue = UeId(d);
+        const double dice = dev_rng.next_double();
+        if (dice < 0.85) {
+          rec.type = core::ProcedureType::kServiceRequest;
+        } else if (dice < 0.95 && regions > 1) {
+          rec.type = core::ProcedureType::kHandover;
+          rec.target_region =
+              (home + 1) % static_cast<std::uint32_t>(regions);
+        } else {
+          rec.type = core::ProcedureType::kAttach;
+        }
+        out.push_back(rec);
+        t += dev_rng.next_exponential(kMeanSessionGapSec);
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceRecord& a, const TraceRecord& b) {
+                return a.at < b.at;
+              });
+    return out;
+  }
+
+ private:
+  std::uint64_t n_devices_;
+  SimTime horizon_;
+  Rng rng_;
+};
+
+/// Replay a trace into the system: schedules every record on the event
+/// loop. Pre-attached UEs are the caller's responsibility.
+inline void replay(core::System& system, const std::vector<TraceRecord>& trace) {
+  for (const TraceRecord& rec : trace) {
+    system.loop().schedule_at(rec.at, [&system, rec] {
+      system.frontend().start_procedure(rec.ue, rec.type, rec.target_region);
+    });
+  }
+}
+
+}  // namespace neutrino::trace

@@ -1,0 +1,61 @@
+// Application models (§6.6): deadline streams and startup latency.
+#include <gtest/gtest.h>
+
+#include "apps/deadline_app.hpp"
+
+namespace neutrino::apps {
+namespace {
+
+using Outage = core::Frontend::Outage;
+
+TEST(DeadlineApp, NoOutagesNoMisses) {
+  DeadlineApp app;
+  EXPECT_EQ(app.missed_deadlines({}), 0u);
+}
+
+TEST(DeadlineApp, OutageShorterThanBudgetIsFree) {
+  DeadlineApp app;  // 100 ms budget
+  const std::vector<Outage> outages = {
+      {SimTime::seconds(1), SimTime::seconds(1) + SimTime::milliseconds(99)}};
+  EXPECT_EQ(app.missed_deadlines(outages), 0u);
+}
+
+TEST(DeadlineApp, MissesScaleWithExposure) {
+  DeadlineApp app;  // 1 kHz, 100 ms budget
+  // 600 ms outage: packets in the first 500 ms wait > 100 ms.
+  const std::vector<Outage> outages = {
+      {SimTime::seconds(1), SimTime::seconds(1) + SimTime::milliseconds(600)}};
+  EXPECT_EQ(app.missed_deadlines(outages), 500u);
+}
+
+TEST(DeadlineApp, VrBudgetIsTighter) {
+  DeadlineApp car{.deadline = DeadlineApp::kSelfDrivingDeadline(),
+                  .radio_gap = {}};
+  DeadlineApp vr{.deadline = DeadlineApp::kVrDeadline(), .radio_gap = {}};
+  const std::vector<Outage> outages = {
+      {SimTime::seconds(0), SimTime::milliseconds(50)}};
+  EXPECT_EQ(car.missed_deadlines(outages), 0u);   // 50 ms < 100 ms budget
+  EXPECT_EQ(vr.missed_deadlines(outages), 34u);   // (50-16) ms at 1 kHz
+}
+
+TEST(DeadlineApp, MultipleOutagesAccumulate) {
+  DeadlineApp app;
+  std::vector<Outage> outages;
+  for (int i = 0; i < 5; ++i) {
+    const SimTime start = SimTime::seconds(i);
+    outages.push_back({start, start + SimTime::milliseconds(300)});
+  }
+  EXPECT_EQ(app.missed_deadlines(outages), 5u * 200u);
+}
+
+TEST(StartupModel, AddsFixedFetchOnTopOfPct) {
+  StartupModel model;
+  EXPECT_DOUBLE_EQ(model.video_startup_ms(10.0), 130.0);
+  EXPECT_DOUBLE_EQ(model.page_load_ms(10.0), 460.0);
+  // The control-plane term dominates under saturation — the Fig. 3 effect.
+  EXPECT_GT(model.video_startup_ms(5000.0) / model.video_startup_ms(1.0),
+            30.0);
+}
+
+}  // namespace
+}  // namespace neutrino::apps

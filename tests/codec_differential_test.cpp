@@ -1,0 +1,83 @@
+// Differential property: for any message, every wire format must decode
+// back to the *same* logical value — cross-format disagreement means one
+// codec silently drops or distorts a field.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "s1ap/samples.hpp"
+#include "serialize/codec.hpp"
+
+namespace neutrino {
+namespace {
+
+/// Randomized message content, well-formed by construction.
+s1ap::InitialContextSetupRequest random_ics(Rng& rng) {
+  auto msg = s1ap::samples::initial_context_setup(
+      static_cast<std::uint32_t>(rng.next_below(1u << 24)),
+      static_cast<std::uint32_t>(rng.next_below(1u << 20)));
+  msg.ambr.dl_bps = rng.next_below(10'000'000'000ULL);
+  msg.ambr.ul_bps = rng.next_below(10'000'000'000ULL);
+  msg.erabs.clear();
+  const auto n_erabs = rng.next_below(4);
+  for (std::uint64_t i = 0; i < n_erabs; ++i) {
+    auto erab = s1ap::samples::erab_to_setup(
+        static_cast<std::uint8_t>(rng.next_below(16)));
+    if (rng.next_bool(0.3)) erab.nas_pdu.reset();
+    if (rng.next_bool(0.5)) {
+      erab.transport.address =
+          s1ap::samples::pattern_bytes(16, static_cast<std::uint8_t>(i));
+    }
+    msg.erabs.push_back(std::move(erab));
+  }
+  if (rng.next_bool(0.5)) msg.ue_radio_capability.reset();
+  if (rng.next_bool(0.5)) msg.csg_membership_status.reset();
+  msg.security_key =
+      s1ap::samples::pattern_bytes(32, static_cast<std::uint8_t>(
+                                           rng.next_below(256)));
+  return msg;
+}
+
+TEST(CodecDifferential, AllFormatsAgreeOnRandomMessages) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto original = random_ics(rng);
+    for (const auto format : ser::kAllWireFormats) {
+      const Bytes encoded = ser::encode(format, original);
+      auto decoded =
+          ser::decode<s1ap::InitialContextSetupRequest>(format, encoded);
+      ASSERT_TRUE(decoded.is_ok())
+          << ser::to_string(format) << " trial " << trial;
+      EXPECT_EQ(*decoded, original)
+          << ser::to_string(format) << " trial " << trial;
+    }
+  }
+}
+
+TEST(CodecDifferential, SizeOrderingIsStable) {
+  // ASN.1 PER must be the most compact and FlexBuffers (keys on the wire)
+  // the least, for any content — a structural property of the formats.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto msg = random_ics(rng);
+    const auto per = ser::encode(ser::WireFormat::kAsn1Per, msg).size();
+    const auto flex = ser::encode(ser::WireFormat::kFlexBuffers, msg).size();
+    for (const auto format : ser::kAllWireFormats) {
+      const auto size = ser::encode(format, msg).size();
+      EXPECT_GE(size, per) << ser::to_string(format);
+      EXPECT_LE(size, flex) << ser::to_string(format);
+    }
+  }
+}
+
+TEST(CodecDifferential, OptimizedNeverLargerThanStandardFlatBuffers) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto msg = random_ics(rng);
+    EXPECT_LE(
+        ser::encode(ser::WireFormat::kOptimizedFlatBuffers, msg).size(),
+        ser::encode(ser::WireFormat::kFlatBuffers, msg).size());
+  }
+}
+
+}  // namespace
+}  // namespace neutrino

@@ -1,0 +1,121 @@
+// Foundation types: strong ids, SimTime, Result/Status, TaggedUnion.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "common/hashing.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "serialize/schema.hpp"
+
+namespace neutrino {
+namespace {
+
+TEST(StrongId, DistinctTypesDistinctValues) {
+  const UeId ue{7};
+  const CpfId cpf{7};
+  EXPECT_EQ(ue.value(), cpf.value());
+  static_assert(!std::is_same_v<UeId, CpfId>);
+  static_assert(!std::is_convertible_v<UeId, CpfId>);
+}
+
+TEST(StrongId, OrderingAndHashing) {
+  EXPECT_LT(UeId{1}, UeId{2});
+  std::unordered_map<UeId, int> map;
+  map[UeId{5}] = 42;
+  EXPECT_EQ(map.at(UeId{5}), 42);
+  EXPECT_FALSE(map.contains(UeId{6}));
+}
+
+TEST(SimTime, UnitsAndArithmetic) {
+  EXPECT_EQ(SimTime::seconds(1), SimTime::milliseconds(1000));
+  EXPECT_EQ(SimTime::milliseconds(1), SimTime::microseconds(1000));
+  EXPECT_EQ((SimTime::seconds(2) - SimTime::milliseconds(500)).ms(), 1500.0);
+  EXPECT_EQ((SimTime::microseconds(3) * 4).us(), 12.0);
+  EXPECT_LT(SimTime::nanoseconds(1), SimTime::microseconds(1));
+}
+
+TEST(LogicalClock, StrictlyIncreasing) {
+  LogicalClock clock;
+  auto a = clock.tick();
+  auto b = clock.tick();
+  EXPECT_LT(a, b);
+  EXPECT_EQ(clock.last(), b);
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(*ok, 7);
+
+  Result<int> bad(make_error(StatusCode::kNotFound, "nope"));
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.status().message(), "nope");
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.is_ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(Hashing, StableAcrossCalls) {
+  EXPECT_EQ(fnv1a64("neutrino"), fnv1a64("neutrino"));
+  EXPECT_NE(fnv1a64("neutrino"), fnv1a64("neutrinO"));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Known FNV-1a vector: empty string hashes to the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(TaggedUnion, IndexAndAccess) {
+  ser::TaggedUnion<std::uint32_t, std::string> u;
+  EXPECT_FALSE(u.has_value());
+  EXPECT_EQ(u.index(), decltype(u)::npos);
+
+  u = std::uint32_t{42};
+  EXPECT_EQ(u.index(), 0u);
+  EXPECT_TRUE(u.holds<std::uint32_t>());
+  EXPECT_EQ(u.get<std::uint32_t>(), 42u);
+
+  u = std::string("hello");
+  EXPECT_EQ(u.index(), 1u);
+  EXPECT_EQ(u.get<std::string>(), "hello");
+}
+
+TEST(TaggedUnion, VisitActiveAndEmplaceByIndex) {
+  ser::TaggedUnion<std::uint32_t, std::string> u;
+  bool visited = false;
+  u.visit_active([&](auto&) { visited = true; });
+  EXPECT_FALSE(visited);  // empty union: no visit
+
+  ASSERT_TRUE(u.emplace_by_index(1, [](auto& alt) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(alt)>, std::string>) {
+      alt = "via-index";
+    }
+  }));
+  EXPECT_EQ(u.get<std::string>(), "via-index");
+  EXPECT_FALSE(u.emplace_by_index(5, [](auto&) {}));  // out of range
+}
+
+TEST(TaggedUnion, EqualityIncludesAlternative) {
+  using U = ser::TaggedUnion<std::uint32_t, std::uint16_t>;
+  EXPECT_EQ(U(std::uint32_t{1}), U(std::uint32_t{1}));
+  EXPECT_FALSE(U(std::uint32_t{1}) == U(std::uint16_t{1}));
+  EXPECT_FALSE(U(std::uint32_t{1}) == U(std::uint32_t{2}));
+}
+
+TEST(NaturalBounds, MatchTypeWidths) {
+  constexpr auto b8 = ser::natural_bounds<std::uint8_t>();
+  EXPECT_EQ(b8.lo, 0);
+  EXPECT_EQ(b8.hi, 255);
+  constexpr auto b16 = ser::natural_bounds<std::uint16_t>();
+  EXPECT_EQ(b16.hi, 65535);
+  constexpr auto b64 = ser::natural_bounds<std::uint64_t>();
+  EXPECT_EQ(b64.hi, std::numeric_limits<std::int64_t>::max());
+}
+
+}  // namespace
+}  // namespace neutrino

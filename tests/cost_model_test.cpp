@@ -1,0 +1,65 @@
+// Cost model: calibration anchoring and measured-cost sanity.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+
+namespace neutrino::core {
+namespace {
+
+// One shared instance: construction measures the real codecs (~1 s).
+const MeasuredCostModel& model() {
+  static const MeasuredCostModel m;
+  return m;
+}
+
+TEST(MeasuredCostModel, FasterSerializationGivesLowerServiceTimes) {
+  // The headline ordering §3.2 rests on.
+  const MsgKind kinds[] = {MsgKind::kAttachRequest, MsgKind::kAttachAccept,
+                           MsgKind::kServiceRequest, MsgKind::kIcsResponse};
+  for (const MsgKind kind : kinds) {
+    const auto asn1 =
+        model().processing_time(ser::WireFormat::kAsn1Per, kind);
+    const auto fbs = model().processing_time(
+        ser::WireFormat::kOptimizedFlatBuffers, kind);
+    EXPECT_LT(fbs.ns(), asn1.ns()) << to_string(kind);
+  }
+}
+
+TEST(MeasuredCostModel, AttachBudgetAnchored) {
+  // DESIGN.md §5: EPC attach work per CPF ~= 5/60K s.
+  const MsgKind attach_kinds[] = {
+      MsgKind::kAttachRequest, MsgKind::kAuthResponse,
+      MsgKind::kSecurityModeComplete, MsgKind::kCreateSessionResponse,
+      MsgKind::kAttachComplete};
+  std::int64_t total_ns = 0;
+  for (const MsgKind kind : attach_kinds) {
+    total_ns += model().processing_time(ser::WireFormat::kAsn1Per, kind).ns();
+  }
+  EXPECT_NEAR(static_cast<double>(total_ns), 5.0 / 60'000 * 1e9,
+              5.0 / 60'000 * 1e9 * 0.02);
+}
+
+TEST(MeasuredCostModel, SizesMatchRealEncodings) {
+  EXPECT_GT(model().encoded_size(ser::WireFormat::kFlatBuffers,
+                                 MsgKind::kAttachAccept),
+            model().encoded_size(ser::WireFormat::kAsn1Per,
+                                 MsgKind::kAttachAccept));
+  EXPECT_GT(model().state_encoded_size(ser::WireFormat::kAsn1Per), 0u);
+}
+
+TEST(MeasuredCostModel, StateSerializationCostPositive) {
+  for (const auto format : ser::kAllWireFormats) {
+    EXPECT_GT(model().state_serialize_time(format).ns(), 0);
+  }
+}
+
+TEST(FixedCostModel, UniformAndDeterministic) {
+  FixedCostModel fixed(SimTime::microseconds(7), 42);
+  EXPECT_EQ(fixed.processing_time(ser::WireFormat::kAsn1Per,
+                                  MsgKind::kAttachRequest),
+            SimTime::microseconds(7));
+  EXPECT_EQ(fixed.encoded_size(ser::WireFormat::kLcm, MsgKind::kTrackingAreaUpdate), 42u);
+}
+
+}  // namespace
+}  // namespace neutrino::core

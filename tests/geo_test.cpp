@@ -1,0 +1,139 @@
+// Geohash and consistent-hash-ring properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "geo/geohash.hpp"
+#include "geo/hash_ring.hpp"
+
+namespace neutrino::geo {
+namespace {
+
+TEST(Geohash, EncodeDecodeRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const LatLon p{rng.next_double() * 180.0 - 90.0,
+                   rng.next_double() * 360.0 - 180.0};
+    const std::string hash = geohash_encode(p, 12);
+    EXPECT_TRUE(geohash_decode(hash).contains(p)) << hash;
+  }
+}
+
+TEST(Geohash, ParentRegionIsFourTimesLarger) {
+  const LatLon p{31.47, 74.41};  // Lahore
+  const std::string h = geohash_encode(p, 8);
+  const GeoCell child = geohash_decode(h);
+  const GeoCell parent = geohash_decode(parent_region(h));
+  const double child_area = (child.lat_hi - child.lat_lo) *
+                            (child.lon_hi - child.lon_lo);
+  const double parent_area = (parent.lat_hi - parent.lat_lo) *
+                             (parent.lon_hi - parent.lon_lo);
+  EXPECT_DOUBLE_EQ(parent_area, 4.0 * child_area);
+  EXPECT_TRUE(parent.contains(p));
+}
+
+TEST(Geohash, SiblingsShareParent) {
+  // Four points in the four quadrants of one parent cell must agree on
+  // every prefix character.
+  const std::string parent = "120311";
+  const GeoCell cell = geohash_decode(parent);
+  const double lat_q = (cell.lat_hi - cell.lat_lo) / 4;
+  const double lon_q = (cell.lon_hi - cell.lon_lo) / 4;
+  std::set<std::string> child_hashes;
+  for (int dx = 0; dx < 2; ++dx) {
+    for (int dy = 0; dy < 2; ++dy) {
+      const LatLon p{cell.lat_lo + lat_q * (1 + 2 * dy),
+                     cell.lon_lo + lon_q * (1 + 2 * dx)};
+      EXPECT_EQ(geohash_encode(p, 6), parent);
+      child_hashes.insert(geohash_encode(p, 7));
+      EXPECT_EQ(std::string(parent_region(geohash_encode(p, 7))), parent);
+    }
+  }
+  EXPECT_EQ(child_hashes.size(), 4u);  // the four distinct sub-quadrants
+}
+
+TEST(Geohash, PrecisionPrefixStability) {
+  // A longer hash always extends the shorter hash of the same point.
+  const LatLon p{-33.86, 151.21};  // Sydney
+  std::string previous;
+  for (int precision = 1; precision <= 15; ++precision) {
+    const std::string h = geohash_encode(p, precision);
+    EXPECT_TRUE(h.starts_with(previous));
+    previous = h;
+  }
+}
+
+TEST(HashRing, LookupIsDeterministic) {
+  ConsistentHashRing<int> ring;
+  for (int node = 0; node < 5; ++node) {
+    ring.add(node, static_cast<std::uint64_t>(node) + 1000);
+  }
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(ring.lookup(key), ring.lookup(key));
+  }
+}
+
+TEST(HashRing, DistributionIsRoughlyBalanced) {
+  ConsistentHashRing<int> ring(64);
+  constexpr int kNodes = 5;
+  for (int node = 0; node < kNodes; ++node) {
+    ring.add(node, static_cast<std::uint64_t>(node) + 1000);
+  }
+  std::array<int, kNodes> counts{};
+  constexpr int kKeys = 20000;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    counts[static_cast<std::size_t>(ring.lookup(key))]++;
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, kKeys / kNodes / 2);
+    EXPECT_LT(c, kKeys / kNodes * 2);
+  }
+}
+
+TEST(HashRing, RemovalOnlyRemapsRemovedNodesKeys) {
+  // Consistent hashing's defining property: removing one node must not
+  // move keys between surviving nodes.
+  ConsistentHashRing<int> ring(32);
+  for (int node = 0; node < 6; ++node) {
+    ring.add(node, static_cast<std::uint64_t>(node) + 77);
+  }
+  std::vector<int> before(5000);
+  for (std::uint64_t key = 0; key < before.size(); ++key) {
+    before[key] = ring.lookup(key);
+  }
+  ring.remove(3);
+  for (std::uint64_t key = 0; key < before.size(); ++key) {
+    const int now = ring.lookup(key);
+    if (before[key] != 3) {
+      EXPECT_EQ(now, before[key]) << "key " << key << " moved needlessly";
+    } else {
+      EXPECT_NE(now, 3);
+    }
+  }
+}
+
+TEST(HashRing, SuccessorsAreDistinctAndStartAtOwner) {
+  ConsistentHashRing<int> ring;
+  for (int node = 0; node < 8; ++node) {
+    ring.add(node, static_cast<std::uint64_t>(node) * 13 + 5);
+  }
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const auto succ = ring.successors(key, 3);
+    ASSERT_EQ(succ.size(), 3u);
+    EXPECT_EQ(succ[0], ring.lookup(key));
+    const std::set<int> distinct(succ.begin(), succ.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+}
+
+TEST(HashRing, SuccessorsCappedByNodeCount) {
+  ConsistentHashRing<int> ring;
+  ring.add(1, 100);
+  ring.add(2, 200);
+  const auto succ = ring.successors(42, 5);
+  EXPECT_EQ(succ.size(), 2u);
+}
+
+}  // namespace
+}  // namespace neutrino::geo

@@ -1,0 +1,80 @@
+// Geography-driven deployment planning (Fig. 6 / §4.3).
+#include <gtest/gtest.h>
+
+#include "geo/region_plan.hpp"
+
+namespace neutrino::geo {
+namespace {
+
+GeoCell metro_area() {
+  // One level-2 cell at precision 5, i.e. a 4-region metro: derive its
+  // exact bounds from a hash so the area is a clean union of quads.
+  return geohash_decode(geohash_encode({31.5, 74.3}, 5));
+}
+
+TEST(RegionPlan, CarvesAreaIntoLevel1Quads) {
+  const auto plan = RegionPlan::from_area(metro_area(), 6);
+  ASSERT_EQ(plan.regions().size(), 4u);
+  const std::string parent = plan.regions()[0].parent_geohash;
+  for (const auto& region : plan.regions()) {
+    EXPECT_EQ(region.geohash.size(), 6u);
+    EXPECT_EQ(region.parent_geohash, parent);
+    EXPECT_TRUE(metro_area().contains(region.cell.center()));
+  }
+}
+
+TEST(RegionPlan, LocateMapsPositionsToRegions) {
+  const auto plan = RegionPlan::from_area(metro_area(), 6);
+  for (const auto& region : plan.regions()) {
+    const auto* located = plan.locate(region.cell.center());
+    ASSERT_NE(located, nullptr);
+    EXPECT_EQ(located->region_index, region.region_index);
+  }
+  // A point outside the plan is not covered.
+  EXPECT_EQ(plan.locate({-80.0, 10.0}), nullptr);
+}
+
+TEST(RegionPlan, ReplicationDomainIsTheLevel2Quad) {
+  const auto area = geohash_decode(geohash_encode({40.7, -74.0}, 4));
+  const auto plan = RegionPlan::from_area(area, 6);  // 16 level-1 regions
+  ASSERT_EQ(plan.regions().size(), 16u);
+  for (const auto& region : plan.regions()) {
+    const auto domain = plan.replication_domain(region.region_index);
+    EXPECT_EQ(domain.size(), 4u);
+    EXPECT_TRUE(std::find(domain.begin(), domain.end(),
+                          region.region_index) != domain.end());
+    for (const auto other : domain) {
+      EXPECT_EQ(plan.regions()[other].parent_geohash,
+                region.parent_geohash);
+    }
+  }
+}
+
+TEST(RegionPlan, ToTopologyMatchesGeography) {
+  const auto area = geohash_decode(geohash_encode({40.7, -74.0}, 4));
+  const auto plan = RegionPlan::from_area(area, 6);
+  auto topo = plan.to_topology(5);
+  ASSERT_TRUE(topo.is_ok()) << topo.status().message();
+  EXPECT_EQ(topo->total_regions(), 16);
+  EXPECT_EQ(topo->l1_per_l2, 4);
+  EXPECT_EQ(topo->l2_regions, 4);
+  // The index-based level-2 grouping must agree with the geohash parents.
+  for (const auto& region : plan.regions()) {
+    for (const auto other : plan.replication_domain(region.region_index)) {
+      EXPECT_EQ(topo->l2_of(region.region_index),
+                topo->l2_of(other));
+    }
+  }
+}
+
+TEST(RegionPlan, RejectsPartialQuads) {
+  // An area covering 2 level-1 cells cannot form level-2 domains.
+  GeoCell half = metro_area();
+  half.lon_hi = (half.lon_lo + half.lon_hi) / 2;
+  const auto plan = RegionPlan::from_area(half, 6);
+  ASSERT_EQ(plan.regions().size(), 2u);
+  EXPECT_FALSE(plan.to_topology(5).is_ok());
+}
+
+}  // namespace
+}  // namespace neutrino::geo

@@ -1,0 +1,122 @@
+// Event loop and server pool semantics.
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.hpp"
+#include "sim/server_pool.hpp"
+
+namespace neutrino::sim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(SimTime::microseconds(30), [&] { order.push_back(3); });
+  loop.schedule_at(SimTime::microseconds(10), [&] { order.push_back(1); });
+  loop.schedule_at(SimTime::microseconds(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime::microseconds(30));
+}
+
+TEST(EventLoop, StableFifoAtEqualTimes) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(SimTime::microseconds(5), [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoop, NestedSchedulingFromCallbacks) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(SimTime::microseconds(1), [&] {
+    loop.schedule_after(SimTime::microseconds(1), [&] { ++fired; });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), SimTime::microseconds(2));
+}
+
+TEST(EventLoop, RunUntilHorizonLeavesLaterEvents) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(SimTime::milliseconds(1), [&] { ++fired; });
+  loop.schedule_at(SimTime::milliseconds(5), [&] { ++fired; });
+  loop.run_until(SimTime::milliseconds(2));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), SimTime::milliseconds(2));
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(ServerPool, SingleCoreQueues) {
+  EventLoop loop;
+  ServerPool pool(loop, 1);
+  std::vector<SimTime> completions;
+  // Two 10us jobs submitted together on one core: second waits.
+  pool.submit(SimTime::microseconds(10),
+              [&] { completions.push_back(loop.now()); });
+  pool.submit(SimTime::microseconds(10),
+              [&] { completions.push_back(loop.now()); });
+  loop.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], SimTime::microseconds(10));
+  EXPECT_EQ(completions[1], SimTime::microseconds(20));
+}
+
+TEST(ServerPool, TwoCoresRunInParallel) {
+  EventLoop loop;
+  ServerPool pool(loop, 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(SimTime::microseconds(10),
+                [&] { completions.push_back(loop.now()); });
+  }
+  loop.run();
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_EQ(completions[0], SimTime::microseconds(10));
+  EXPECT_EQ(completions[1], SimTime::microseconds(10));
+  EXPECT_EQ(completions[2], SimTime::microseconds(20));
+  EXPECT_EQ(completions[3], SimTime::microseconds(20));
+}
+
+TEST(ServerPool, BacklogReflectsQueueing) {
+  EventLoop loop;
+  ServerPool pool(loop, 1);
+  EXPECT_EQ(pool.backlog(), SimTime{});
+  pool.submit(SimTime::microseconds(50), [] {});
+  EXPECT_EQ(pool.backlog(), SimTime::microseconds(50));
+}
+
+TEST(ServerPool, ResetDropsInFlightWork) {
+  EventLoop loop;
+  ServerPool pool(loop, 1);
+  int completed = 0;
+  pool.submit(SimTime::microseconds(10), [&] { ++completed; });
+  pool.reset();  // crash before the job finishes
+  pool.submit(SimTime::microseconds(10), [&] { ++completed; });
+  loop.run();
+  EXPECT_EQ(completed, 1);
+}
+
+TEST(ServerPool, SaturationKneeAppears) {
+  // Offered load beyond capacity must grow the backlog roughly linearly:
+  // the mechanism behind every "saturation region" in the paper's figures.
+  EventLoop loop;
+  ServerPool pool(loop, 1);
+  // 1 job per 10us, each requiring 15us: 50% overload.
+  SimTime last_completion;
+  for (int i = 0; i < 100; ++i) {
+    loop.schedule_at(SimTime::microseconds(10 * i), [&] {
+      pool.submit(SimTime::microseconds(15),
+                  [&] { last_completion = loop.now(); });
+    });
+  }
+  loop.run();
+  // 100 jobs x 15us = 1500us of work arriving over ~1000us.
+  EXPECT_EQ(last_completion, SimTime::microseconds(10 + 1500 - 10));
+}
+
+}  // namespace
+}  // namespace neutrino::sim

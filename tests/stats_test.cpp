@@ -1,0 +1,96 @@
+// Streaming statistics used by every bench.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace neutrino {
+namespace {
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MatchesTwoPassComputation) {
+  Rng rng(5);
+  OnlineStats s;
+  std::vector<double> values;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double() * 100 - 50;
+    values.push_back(v);
+    s.add(v);
+  }
+  double mean = 0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(LatencyRecorder, ExactPercentiles) {
+  LatencyRecorder r;
+  for (int i = 100; i >= 1; --i) r.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(r.min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.max(), 100.0);
+  EXPECT_NEAR(r.median(), 50.5, 1e-9);
+  EXPECT_NEAR(r.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(r.percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(r.p99(), 99.01, 0.2);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  for (int i = 0; i < 50; ++i) a.add(1.0);
+  for (int i = 0; i < 50; ++i) b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(LatencyRecorder, InterleavedAddAndQuery) {
+  // Queries sort lazily; later adds must re-sort correctly.
+  LatencyRecorder r;
+  r.add(5.0);
+  r.add(1.0);
+  EXPECT_DOUBLE_EQ(r.median(), 3.0);
+  r.add(100.0);
+  EXPECT_DOUBLE_EQ(r.median(), 5.0);
+  EXPECT_DOUBLE_EQ(r.max(), 100.0);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_exponential(106.9);
+  EXPECT_NEAR(sum / kN, 106.9, 1.5);
+}
+
+}  // namespace
+}  // namespace neutrino

@@ -1,0 +1,121 @@
+// Byte/bit cursor primitives underlying every codec.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "serialize/wire.hpp"
+
+namespace neutrino::wire {
+namespace {
+
+TEST(ByteWriter, LittleAndBigEndian) {
+  ByteWriter w;
+  w.put_le<std::uint32_t>(0x01020304);
+  w.put_be<std::uint32_t>(0x01020304);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[3], 0x01);
+  EXPECT_EQ(b[4], 0x01);
+  EXPECT_EQ(b[7], 0x04);
+}
+
+TEST(ByteWriter, AlignPads) {
+  ByteWriter w;
+  w.put_u8(1);
+  w.align_to(4);
+  EXPECT_EQ(w.size(), 4u);
+  w.align_to(4);
+  EXPECT_EQ(w.size(), 4u);  // already aligned: no-op
+}
+
+TEST(ByteWriter, PatchLe32) {
+  ByteWriter w;
+  w.put_le<std::uint32_t>(0);
+  w.put_u8(0xaa);
+  w.patch_le32(0, 0xdeadbeef);
+  EXPECT_EQ(w.bytes()[0], 0xef);
+  EXPECT_EQ(w.bytes()[3], 0xde);
+  EXPECT_EQ(w.bytes()[4], 0xaa);
+}
+
+TEST(ByteReader, RoundTripsAndBoundsChecks) {
+  ByteWriter w;
+  w.put_le<std::uint64_t>(0x1122334455667788ULL);
+  w.put_be<std::uint16_t>(0xcafe);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.get_le<std::uint64_t>(), 0x1122334455667788ULL);
+  EXPECT_EQ(*r.get_be<std::uint16_t>(), 0xcafe);
+  EXPECT_FALSE(r.get_u8().is_ok());  // exhausted
+}
+
+TEST(ByteReader, SkipAndAlign) {
+  Bytes data(10, 0x55);
+  ByteReader r{BytesView(data)};
+  EXPECT_TRUE(r.skip(3).is_ok());
+  EXPECT_TRUE(r.align_to(4).is_ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_FALSE(r.skip(100).is_ok());
+}
+
+TEST(BitWriter, MsbFirstPacking) {
+  BitWriter w;
+  w.put_bit(true);
+  w.put_bit(false);
+  w.put_bit(true);
+  w.align();
+  ASSERT_EQ(w.size_bytes(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b1010'0000);
+}
+
+TEST(BitWriter, PutBitsWritesExactWidth) {
+  BitWriter w;
+  w.put_bits(0b101, 3);
+  w.put_bits(0b11, 2);
+  w.align();
+  EXPECT_EQ(w.bytes()[0], 0b1011'1000);
+}
+
+TEST(BitRoundTrip, RandomBitPatterns) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> values;
+    for (int i = 0; i < 20; ++i) {
+      const unsigned nbits = 1 + static_cast<unsigned>(rng.next_below(24));
+      const std::uint64_t v = rng.next_u64() & ((1ULL << nbits) - 1);
+      values.emplace_back(v, nbits);
+      w.put_bits(v, nbits);
+    }
+    BitReader r(w.bytes());
+    for (const auto& [v, nbits] : values) {
+      auto got = r.get_bits(nbits);
+      ASSERT_TRUE(got.is_ok());
+      EXPECT_EQ(*got, v);
+    }
+  }
+}
+
+TEST(BitReader, AlignedBytesAfterBits) {
+  BitWriter w;
+  w.put_bits(0b11, 2);
+  const Bytes payload = {0xde, 0xad};
+  w.put_aligned_bytes(BytesView(payload));
+  BitReader r(w.bytes());
+  EXPECT_EQ(*r.get_bits(2), 0b11u);
+  auto bytes = r.get_aligned_bytes(2);
+  ASSERT_TRUE(bytes.is_ok());
+  EXPECT_EQ((*bytes)[0], 0xde);
+  EXPECT_EQ((*bytes)[1], 0xad);
+}
+
+TEST(BitReader, TruncationReported) {
+  BitWriter w;
+  w.put_bits(0xff, 8);
+  BitReader r(w.bytes());
+  EXPECT_TRUE(r.get_bits(8).is_ok());
+  EXPECT_FALSE(r.get_bit().is_ok());
+  EXPECT_FALSE(r.get_aligned_bytes(1).is_ok());
+}
+
+}  // namespace
+}  // namespace neutrino::wire

@@ -1,0 +1,102 @@
+// Workload generators and the mobility model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/mobility.hpp"
+#include "trace/workload.hpp"
+
+namespace neutrino::trace {
+namespace {
+
+TEST(UniformWorkload, RateAndOrdering) {
+  UniformWorkload w(50'000.0, SimTime::seconds(1), {}, 5);
+  const auto t = w.generate(1'000'000, 1);
+  // Poisson with lambda=50K over 1s: within 5%.
+  EXPECT_NEAR(static_cast<double>(t.size()), 50'000.0, 2'500.0);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i - 1].at, t[i].at);
+  }
+}
+
+TEST(UniformWorkload, MixFractionsRespected) {
+  ProcedureMix mix{.service_request = 0.6, .handover = 0.2,
+                   .intra_handover = 0.1};
+  UniformWorkload w(20'000.0, SimTime::seconds(1), mix, 5);
+  const auto t = w.generate(1'000'000, 4);
+  std::size_t sr = 0, ho = 0, intra = 0, attach = 0;
+  for (const auto& rec : t) {
+    switch (rec.type) {
+      case core::ProcedureType::kServiceRequest: ++sr; break;
+      case core::ProcedureType::kHandover: ++ho; break;
+      case core::ProcedureType::kIntraHandover: ++intra; break;
+      default: ++attach; break;
+    }
+  }
+  const auto n = static_cast<double>(t.size());
+  EXPECT_NEAR(static_cast<double>(sr) / n, 0.6, 0.03);
+  EXPECT_NEAR(static_cast<double>(ho) / n, 0.2, 0.03);
+  EXPECT_NEAR(static_cast<double>(intra) / n, 0.1, 0.03);
+  EXPECT_NEAR(static_cast<double>(attach) / n, 0.1, 0.03);
+}
+
+TEST(UniformWorkload, HandoverTargetsDifferFromHome) {
+  ProcedureMix mix{.handover = 1.0};
+  UniformWorkload w(5'000.0, SimTime::seconds(1), mix, 9);
+  for (const auto& rec : w.generate(100'000, 4)) {
+    if (rec.type == core::ProcedureType::kHandover) {
+      EXPECT_NE(rec.target_region, rec.ue.value() % 4);
+    }
+  }
+}
+
+TEST(BurstyWorkload, AllUsersWithinWindowOnce) {
+  BurstyWorkload w(10'000, SimTime::milliseconds(100), 3);
+  const auto t = w.generate();
+  ASSERT_EQ(t.size(), 10'000u);
+  std::set<std::uint64_t> distinct;
+  for (const auto& rec : t) {
+    EXPECT_LE(rec.at, SimTime::milliseconds(100));
+    EXPECT_EQ(rec.type, core::ProcedureType::kAttach);
+    distinct.insert(rec.ue.value());
+  }
+  EXPECT_EQ(distinct.size(), 10'000u);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i - 1].at, t[i].at);
+  }
+}
+
+TEST(DeviceModelWorkload, MeanSessionGapMatchesPaper) {
+  // §2.2: a device issues a session establishment every 106.9 s on
+  // average. Measure over a long horizon.
+  DeviceModelWorkload w(200, SimTime::seconds(20'000), 7);
+  const auto t = w.generate(1);
+  // 200 devices x 20000s / 106.9s ~ 37,400 events.
+  const double expected = 200.0 * 20'000.0 / 106.9;
+  EXPECT_NEAR(static_cast<double>(t.size()), expected, expected * 0.05);
+}
+
+TEST(DriveModel, SixtyMphSpacingMatchesFig12) {
+  DriveModel drive;
+  const auto events = drive.handovers(SimTime::seconds(120));
+  ASSERT_GE(events.size(), 3u);
+  // First crossing: 700 m at 26.8 m/s ~ 26.1 s.
+  EXPECT_NEAR(events[0].at.sec(), 700.0 / 26.8, 0.1);
+  // Second: +1000 m.
+  EXPECT_NEAR(events[1].at.sec(), 1700.0 / 26.8, 0.1);
+  // Every fourth crossing changes region.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].crosses_region, (i + 1) % 4 == 0) << i;
+  }
+}
+
+TEST(DriveModel, FiveMinuteDriveHandoverCount) {
+  // 5 min at 26.8 m/s = 8040 m; alternating 700/1000 m cells ~ 9 HOs.
+  DriveModel drive;
+  const auto events = drive.handovers(SimTime::seconds(300));
+  EXPECT_GE(events.size(), 8u);
+  EXPECT_LE(events.size(), 11u);
+}
+
+}  // namespace
+}  // namespace neutrino::trace
