@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_backups.dir/ablation_backups.cpp.o"
+  "CMakeFiles/ablation_backups.dir/ablation_backups.cpp.o.d"
+  "ablation_backups"
+  "ablation_backups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_backups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

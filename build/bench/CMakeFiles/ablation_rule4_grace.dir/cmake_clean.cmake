@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rule4_grace.dir/ablation_rule4_grace.cpp.o"
+  "CMakeFiles/ablation_rule4_grace.dir/ablation_rule4_grace.cpp.o.d"
+  "ablation_rule4_grace"
+  "ablation_rule4_grace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rule4_grace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

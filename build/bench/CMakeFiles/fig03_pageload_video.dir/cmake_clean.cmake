@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_pageload_video.dir/fig03_pageload_video.cpp.o"
+  "CMakeFiles/fig03_pageload_video.dir/fig03_pageload_video.cpp.o.d"
+  "fig03_pageload_video"
+  "fig03_pageload_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_pageload_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

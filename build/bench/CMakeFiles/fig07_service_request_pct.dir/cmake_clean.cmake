@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_service_request_pct.dir/fig07_service_request_pct.cpp.o"
+  "CMakeFiles/fig07_service_request_pct.dir/fig07_service_request_pct.cpp.o.d"
+  "fig07_service_request_pct"
+  "fig07_service_request_pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_service_request_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_attach_pct_uniform.dir/fig08_attach_pct_uniform.cpp.o"
+  "CMakeFiles/fig08_attach_pct_uniform.dir/fig08_attach_pct_uniform.cpp.o.d"
+  "fig08_attach_pct_uniform"
+  "fig08_attach_pct_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_attach_pct_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_attach_pct_bursty.dir/fig09_attach_pct_bursty.cpp.o"
+  "CMakeFiles/fig09_attach_pct_bursty.dir/fig09_attach_pct_bursty.cpp.o.d"
+  "fig09_attach_pct_bursty"
+  "fig09_attach_pct_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_attach_pct_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_attach_pct_bursty.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_handover_failure.dir/fig10_handover_failure.cpp.o"
+  "CMakeFiles/fig10_handover_failure.dir/fig10_handover_failure.cpp.o.d"
+  "fig10_handover_failure"
+  "fig10_handover_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_handover_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_fast_handover.dir/fig11_fast_handover.cpp.o"
+  "CMakeFiles/fig11_fast_handover.dir/fig11_fast_handover.cpp.o.d"
+  "fig11_fast_handover"
+  "fig11_fast_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fast_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

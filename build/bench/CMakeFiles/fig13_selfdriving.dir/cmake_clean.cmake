@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_selfdriving.dir/fig13_selfdriving.cpp.o"
+  "CMakeFiles/fig13_selfdriving.dir/fig13_selfdriving.cpp.o.d"
+  "fig13_selfdriving"
+  "fig13_selfdriving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_selfdriving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_selfdriving.
+# This may be replaced when dependencies are built.

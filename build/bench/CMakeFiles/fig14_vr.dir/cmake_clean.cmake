@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vr.dir/fig14_vr.cpp.o"
+  "CMakeFiles/fig14_vr.dir/fig14_vr.cpp.o.d"
+  "fig14_vr"
+  "fig14_vr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_state_sync.dir/fig15_state_sync.cpp.o"
+  "CMakeFiles/fig15_state_sync.dir/fig15_state_sync.cpp.o.d"
+  "fig15_state_sync"
+  "fig15_state_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_state_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

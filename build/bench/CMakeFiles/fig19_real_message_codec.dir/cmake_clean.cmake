@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_real_message_codec.dir/fig19_real_message_codec.cpp.o"
+  "CMakeFiles/fig19_real_message_codec.dir/fig19_real_message_codec.cpp.o.d"
+  "fig19_real_message_codec"
+  "fig19_real_message_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_real_message_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig19_real_message_codec.
+# This may be replaced when dependencies are built.

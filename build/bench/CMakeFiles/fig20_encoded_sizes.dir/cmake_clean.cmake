@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_encoded_sizes.dir/fig20_encoded_sizes.cpp.o"
+  "CMakeFiles/fig20_encoded_sizes.dir/fig20_encoded_sizes.cpp.o.d"
+  "fig20_encoded_sizes"
+  "fig20_encoded_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_encoded_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

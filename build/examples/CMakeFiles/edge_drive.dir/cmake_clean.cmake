@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_drive.dir/edge_drive.cpp.o"
+  "CMakeFiles/edge_drive.dir/edge_drive.cpp.o.d"
+  "edge_drive"
+  "edge_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialization_tour.dir/serialization_tour.cpp.o"
+  "CMakeFiles/serialization_tour.dir/serialization_tour.cpp.o.d"
+  "serialization_tour"
+  "serialization_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialization_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

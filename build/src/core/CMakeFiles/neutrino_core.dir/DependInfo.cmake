@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/neutrino_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/neutrino_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/cpf.cpp" "src/core/CMakeFiles/neutrino_core.dir/cpf.cpp.o" "gcc" "src/core/CMakeFiles/neutrino_core.dir/cpf.cpp.o.d"
+  "/root/repo/src/core/cta.cpp" "src/core/CMakeFiles/neutrino_core.dir/cta.cpp.o" "gcc" "src/core/CMakeFiles/neutrino_core.dir/cta.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/core/CMakeFiles/neutrino_core.dir/frontend.cpp.o" "gcc" "src/core/CMakeFiles/neutrino_core.dir/frontend.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/neutrino_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/neutrino_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serialize/CMakeFiles/neutrino_serialize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

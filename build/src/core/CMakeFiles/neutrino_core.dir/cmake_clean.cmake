@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neutrino_core.dir/cost_model.cpp.o"
+  "CMakeFiles/neutrino_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/neutrino_core.dir/cpf.cpp.o"
+  "CMakeFiles/neutrino_core.dir/cpf.cpp.o.d"
+  "CMakeFiles/neutrino_core.dir/cta.cpp.o"
+  "CMakeFiles/neutrino_core.dir/cta.cpp.o.d"
+  "CMakeFiles/neutrino_core.dir/frontend.cpp.o"
+  "CMakeFiles/neutrino_core.dir/frontend.cpp.o.d"
+  "CMakeFiles/neutrino_core.dir/system.cpp.o"
+  "CMakeFiles/neutrino_core.dir/system.cpp.o.d"
+  "libneutrino_core.a"
+  "libneutrino_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neutrino_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneutrino_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neutrino_serialize.dir/asn1_runtime.cpp.o"
+  "CMakeFiles/neutrino_serialize.dir/asn1_runtime.cpp.o.d"
+  "libneutrino_serialize.a"
+  "libneutrino_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neutrino_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

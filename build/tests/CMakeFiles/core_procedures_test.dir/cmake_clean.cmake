@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_procedures_test.dir/core_procedures_test.cpp.o"
+  "CMakeFiles/core_procedures_test.dir/core_procedures_test.cpp.o.d"
+  "core_procedures_test"
+  "core_procedures_test.pdb"
+  "core_procedures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_procedures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scale_baseline_test.dir/core_scale_baseline_test.cpp.o"
+  "CMakeFiles/core_scale_baseline_test.dir/core_scale_baseline_test.cpp.o.d"
+  "core_scale_baseline_test"
+  "core_scale_baseline_test.pdb"
+  "core_scale_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scale_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

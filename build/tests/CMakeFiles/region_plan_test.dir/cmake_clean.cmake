@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_plan_test.dir/region_plan_test.cpp.o"
+  "CMakeFiles/region_plan_test.dir/region_plan_test.cpp.o.d"
+  "region_plan_test"
+  "region_plan_test.pdb"
+  "region_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

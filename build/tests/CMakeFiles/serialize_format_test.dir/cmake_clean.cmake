@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_format_test.dir/serialize_format_test.cpp.o"
+  "CMakeFiles/serialize_format_test.dir/serialize_format_test.cpp.o.d"
+  "serialize_format_test"
+  "serialize_format_test.pdb"
+  "serialize_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

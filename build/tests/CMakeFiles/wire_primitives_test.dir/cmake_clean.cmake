@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_primitives_test.dir/wire_primitives_test.cpp.o"
+  "CMakeFiles/wire_primitives_test.dir/wire_primitives_test.cpp.o.d"
+  "wire_primitives_test"
+  "wire_primitives_test.pdb"
+  "wire_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

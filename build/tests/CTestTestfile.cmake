@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/serialize_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/core_procedures_test[1]_include.cmake")
+include("/root/repo/build/tests/core_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_idle_mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_format_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/common_types_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_detection_test[1]_include.cmake")
+include("/root/repo/build/tests/core_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/core_policy_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/region_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/core_scale_baseline_test[1]_include.cmake")
