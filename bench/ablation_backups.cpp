@@ -9,11 +9,18 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header("ablation_backups",
-                      "replica count N: overhead vs coverage",
-                      "n/a (design-choice ablation)");
-  for (const int backups : {0, 1, 2, 3}) {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "ablation_backups",
+                       "replica count N: overhead vs coverage",
+                       "n/a (design-choice ablation)");
+  const std::vector<int> backup_counts =
+      report.smoke() ? std::vector<int>{0, 2} : std::vector<int>{0, 1, 2, 3};
+  const SimTime duration =
+      SimTime::milliseconds(report.smoke() ? 200 : 1000);
+  const double rate = 60e3;
+  report.config()["rate_pps"] = rate;
+  report.config()["duration_ms"] = duration.ms();
+  for (const int backups : backup_counts) {
     auto policy = core::neutrino_policy();
     policy.num_backups = backups;
     if (backups == 0) {
@@ -26,20 +33,20 @@ int main() {
     cfg.policy = policy;
     cfg.topo.l1_per_l2 = 4;
     cfg.topo.latency = bench::testbed_latencies();
-    trace::UniformWorkload workload(60e3, SimTime::milliseconds(1000), {},
-                                    /*seed=*/42);
+    trace::UniformWorkload workload(rate, duration, {}, /*seed=*/42);
     const auto t = workload.generate(1'000'000, cfg.topo.total_regions());
     const auto clean = bench::run_experiment(cfg, t);
     const auto& pct = clean.metrics.pct[static_cast<std::size_t>(
         core::ProcedureType::kAttach)];
 
     // Under failures: crash one CPF per region mid-run.
+    const SimTime crash_at = SimTime::milliseconds(report.smoke() ? 100 : 500);
     const auto failed = bench::run_experiment(
         cfg, t, [&](core::System& system, sim::EventLoop& loop) {
           for (int region = 0; region < cfg.topo.total_regions(); ++region) {
             const CpfId victim =
                 cfg.topo.cpf_at(static_cast<std::uint32_t>(region), 0);
-            loop.schedule_at(SimTime::milliseconds(500),
+            loop.schedule_at(crash_at,
                              [&system, victim] { system.crash_cpf(victim); });
           }
         });
@@ -54,6 +61,13 @@ int main() {
         static_cast<unsigned long long>(failed.metrics.reattaches),
         static_cast<unsigned long long>(failed.metrics.replays),
         static_cast<unsigned long long>(failed.metrics.ryw_violations));
+    obs::Json& row = report.new_row("Neutrino");
+    row["x"] = backups;
+    row["attach_pct_ms"] = obs::summary_json(pct);
+    row["clean"].make_object();
+    bench::Report::attach_result(row["clean"], clean);
+    row["under_failure"].make_object();
+    bench::Report::attach_result(row["under_failure"], failed);
   }
   return 0;
 }

@@ -9,11 +9,17 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header("ablation_detection",
-                      "failure detection time vs recovery PCT",
-                      "n/a (quantifies what §6.4 excludes)");
-  for (const std::int64_t probe_ms : {1, 5, 20, 100}) {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "ablation_detection",
+                       "failure detection time vs recovery PCT",
+                       "n/a (quantifies what §6.4 excludes)");
+  const std::vector<std::int64_t> probe_intervals_ms =
+      report.smoke() ? std::vector<std::int64_t>{5}
+                     : std::vector<std::int64_t>{1, 5, 20, 100};
+  const SimTime duration =
+      SimTime::milliseconds(report.smoke() ? 400 : 1000);
+  report.config()["duration_ms"] = duration.ms();
+  for (const std::int64_t probe_ms : probe_intervals_ms) {
     bench::ExperimentConfig cfg;
     cfg.policy = core::neutrino_policy();
     cfg.topo.latency = bench::testbed_latencies();
@@ -21,9 +27,9 @@ int main() {
     const auto population = static_cast<std::uint64_t>(rate * 1.2);
     cfg.preattached_ues = population;
     trace::ProcedureMix mix{.service_request = 1.0};
-    trace::UniformWorkload workload(rate, SimTime::milliseconds(1000), mix,
-                                    /*seed=*/42);
+    trace::UniformWorkload workload(rate, duration, mix, /*seed=*/42);
     const auto t = workload.generate(population, cfg.topo.total_regions());
+    const int waves = report.smoke() ? 2 : 8;
     const auto result = bench::run_experiment(
         cfg, t, [&](core::System& system, sim::EventLoop& loop) {
           for (int region = 0; region < cfg.topo.total_regions(); ++region) {
@@ -32,7 +38,7 @@ int main() {
           }
           // Crash waves (silent): a rotating CPF fails every 100 ms and
           // restarts 70 ms later; only the heartbeat monitors notice.
-          for (int wave = 0; wave < 8; ++wave) {
+          for (int wave = 0; wave < waves; ++wave) {
             const SimTime at = SimTime::milliseconds(150 + 100 * wave);
             const CpfId victim{static_cast<std::uint32_t>(wave % 5)};
             loop.schedule_at(at, [&system, victim] {
@@ -53,6 +59,10 @@ int main() {
         pf.count(),
         static_cast<unsigned long long>(result.metrics.replays),
         static_cast<unsigned long long>(result.metrics.reattaches));
+    obs::Json& row = report.new_row("Neutrino");
+    row["x"] = probe_ms;
+    row["failure_sr_pct_ms"] = obs::summary_json(pf);
+    bench::Report::attach_result(row, result);
   }
   return 0;
 }

@@ -12,11 +12,19 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header("ablation_rule4",
-                      "rule-4 notify grace vs notify storms",
-                      "n/a (design-choice ablation)");
-  for (const std::int64_t grace_ms : {0, 10, 1000, 30000}) {
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "ablation_rule4",
+                       "rule-4 notify grace vs notify storms",
+                       "n/a (design-choice ablation)");
+  const std::vector<std::int64_t> graces_ms =
+      report.smoke() ? std::vector<std::int64_t>{0, 1000}
+                     : std::vector<std::int64_t>{0, 10, 1000, 30000};
+  const SimTime duration =
+      SimTime::milliseconds(report.smoke() ? 200 : 1500);
+  const double rate = report.smoke() ? 200e3 : 550e3;
+  report.config()["rate_pps"] = rate;
+  report.config()["duration_ms"] = duration.ms();
+  for (const std::int64_t grace_ms : graces_ms) {
     bench::ExperimentConfig cfg;
     cfg.policy = core::neutrino_policy();
     cfg.topo.l1_per_l2 = 4;
@@ -27,8 +35,7 @@ int main() {
     trace::ProcedureMix mix{.service_request = 1.0};
     // Each UE fires several service requests, so rule 4 is exercised by
     // every procedure whose predecessor's ACKs still lag.
-    trace::UniformWorkload workload(550e3, SimTime::milliseconds(1500), mix,
-                                    /*seed=*/42);
+    trace::UniformWorkload workload(rate, duration, mix, /*seed=*/42);
     const auto t = workload.generate(users, cfg.topo.total_regions());
     const auto result = bench::run_experiment(cfg, t);
     const auto& pct = result.metrics.pct[static_cast<std::size_t>(
@@ -42,6 +49,10 @@ int main() {
         static_cast<unsigned long long>(result.metrics.state_fetches),
         static_cast<unsigned long long>(result.metrics.reattaches),
         static_cast<unsigned long long>(result.metrics.ryw_violations));
+    obs::Json& row = report.new_row("Neutrino");
+    row["x"] = grace_ms;
+    row["sr_pct_ms"] = obs::summary_json(pct);
+    bench::Report::attach_result(row, result);
   }
   return 0;
 }

@@ -8,11 +8,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "core/cost_model.hpp"
 #include "core/system.hpp"
+#include "obs/report.hpp"
 #include "trace/workload.hpp"
 
 namespace neutrino::bench {
@@ -47,6 +51,12 @@ struct ExperimentConfig {
   std::uint64_t preattached_ues = 0;
   /// Run this long past the last scheduled arrival.
   SimTime drain = SimTime::seconds(30);
+  /// Attach a decomposition tracer for the run: every completed
+  /// procedure's latency is split by hop class into the result registry's
+  /// "core.pct_decomp_ms{component=..,proc=..}" histograms (components
+  /// tile the PCT exactly; "total" is recorded alongside). Off by
+  /// default — tracing then costs one null test per hop site.
+  bool trace_decomposition = false;
 };
 
 /// Build a system, replay a trace, run to completion, return the metrics.
@@ -60,6 +70,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   core::Metrics metrics;
   core::System system(loop, cfg.policy, cfg.topo, cfg.proto,
                       measured_costs(), metrics);
+  std::unique_ptr<obs::ProcTracer> tracer;
+  if (cfg.trace_decomposition) {
+    obs::TracerConfig tc;
+    tc.record_events = false;  // decomposition only; no timeline retention
+    tc.keep_slowest = 8;
+    tc.keep_failed = 0;
+    tracer = std::make_unique<obs::ProcTracer>(tc, &metrics.registry);
+    system.attach_tracer(*tracer);
+  }
   const auto regions =
       static_cast<std::uint32_t>(cfg.topo.total_regions());
   for (std::uint64_t ue = 0; ue < cfg.preattached_ues; ++ue) {
@@ -109,5 +128,161 @@ inline void print_header(const char* figure, const char* title,
   std::printf("# %s — %s\n", figure, title);
   std::printf("# paper: %s\n", paper_claim);
 }
+
+/// Command-line options every bench understands.
+struct BenchOptions {
+  /// Shrunk rates/durations for CI (scripts/check.sh): seconds, not
+  /// minutes, while still exercising every code path.
+  bool smoke = false;
+  /// Where the JSON report goes; empty = stdout after the TSV.
+  std::string report_path;
+  /// Benches that support PCT decomposition run it by default;
+  /// --no-decompose measures the tracing-disabled baseline.
+  bool decompose = true;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    if (const char* env = std::getenv("NEUTRINO_REPORT")) o.report_path = env;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--smoke") {
+        o.smoke = true;
+      } else if (arg == "--no-decompose") {
+        o.decompose = false;
+      } else if (arg.rfind("--report=", 0) == 0) {
+        o.report_path = arg.substr(9);
+      }
+    }
+    return o;
+  }
+};
+
+/// Structured experiment export (ISSUE: one code path for every bench).
+///
+/// Prints the legacy TSV rows unchanged (summarize_bench.py keeps
+/// working) and accumulates a versioned JSON document — figure identity,
+/// per-row percentile tables, the full counter registry, and the latency
+/// decomposition when the experiment ran with cfg.trace_decomposition —
+/// written to stdout or --report=PATH / $NEUTRINO_REPORT on finish().
+class Report {
+ public:
+  Report(int argc, char** argv, const char* figure, const char* title,
+         const char* paper_claim)
+      : Report(figure, title, paper_claim, BenchOptions::parse(argc, argv)) {}
+
+  Report(const char* figure, const char* title, const char* paper_claim,
+         BenchOptions opts)
+      : figure_(figure), opts_(std::move(opts)) {
+    print_header(figure, title, paper_claim);
+    doc_["schema"] = obs::kBenchReportSchema;
+    doc_["version"] = obs::kBenchReportVersion;
+    doc_["figure"] = figure;
+    doc_["title"] = title;
+    doc_["paper_claim"] = paper_claim;
+    doc_["smoke"] = opts_.smoke;
+    doc_["config"].make_object();
+    doc_["rows"].make_array();
+  }
+
+  ~Report() { finish(); }
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  [[nodiscard]] bool smoke() const { return opts_.smoke; }
+  [[nodiscard]] bool decompose() const { return opts_.decompose; }
+  /// Bench-specific configuration block (rates, topology, policy knobs).
+  obs::Json& config() { return doc_["config"]; }
+
+  /// Print the standard TSV percentile row AND record it in the report.
+  /// Pass the experiment result to attach its counters/decomposition.
+  void add_pct_row(std::string_view system_name, double x,
+                   const LatencyRecorder& pct,
+                   const ExperimentResult* result = nullptr,
+                   const char* pct_label = "pct_ms") {
+    print_pct_row(figure_, system_name, x, pct);
+    obs::Json& row = new_row(system_name);
+    row["x"] = x;
+    row[pct_label] = obs::summary_json(pct);
+    if (result) attach_result(row, *result);
+  }
+
+  /// Start a custom row (benches with their own TSV printf keep it and
+  /// fill the JSON here).
+  obs::Json& new_row(std::string_view system_name) {
+    obs::Json& row = doc_["rows"].push_back(obs::Json{});
+    row["system"] = system_name;
+    return row;
+  }
+
+  /// Counters, gauges, decomposition and occupancy series of a result.
+  static void attach_result(obs::Json& row, const ExperimentResult& result) {
+    const obs::Registry& reg = result.metrics.registry;
+    row["sim_seconds"] = result.sim_seconds;
+    row["counters"] = obs::counters_json(reg);
+    obs::Json gauges = obs::gauges_json(reg);
+    if (gauges.size() > 0) row["gauges"] = std::move(gauges);
+    obs::Json decomp = decomposition_json(reg);
+    if (!decomp.is_null()) row["decomposition_ms"] = std::move(decomp);
+    obs::Json series = obs::time_series_json(reg);
+    if (series.size() > 0) row["time_series"] = std::move(series);
+  }
+
+  /// Regroup the "core.pct_decomp_ms{component=..,proc=..}" histograms as
+  /// {proc: {component: {mean, p50, ...}}}; null when no tracer ran.
+  static obs::Json decomposition_json(const obs::Registry& reg) {
+    obs::Json decomp;
+    constexpr std::string_view kPrefix = "core.pct_decomp_ms{";
+    reg.for_each_histogram([&](const std::string& key,
+                               const LatencyRecorder& h) {
+      if (key.rfind(kPrefix, 0) != 0 || key.back() != '}') return;
+      // Parse "component=X,proc=Y" (labels are sorted in the key).
+      std::string_view labels{key};
+      labels.remove_prefix(kPrefix.size());
+      labels.remove_suffix(1);
+      std::string component, proc;
+      while (!labels.empty()) {
+        const std::size_t comma = labels.find(',');
+        const std::string_view pair = labels.substr(0, comma);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string_view::npos) {
+          const std::string_view k = pair.substr(0, eq);
+          const std::string_view v = pair.substr(eq + 1);
+          if (k == "component") component = std::string{v};
+          if (k == "proc") proc = std::string{v};
+        }
+        if (comma == std::string_view::npos) break;
+        labels.remove_prefix(comma + 1);
+      }
+      if (component.empty() || proc.empty()) return;
+      decomp[proc][component] = obs::summary_json(h);
+    });
+    return decomp;
+  }
+
+  /// Write the JSON document (idempotent; also run by the destructor).
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    const std::string out = doc_.dump(2);
+    if (opts_.report_path.empty()) {
+      std::printf("%s", out.c_str());
+      return;
+    }
+    if (FILE* f = std::fopen(opts_.report_path.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::printf("# report: %s\n", opts_.report_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write report to %s\n",
+                   opts_.report_path.c_str());
+    }
+  }
+
+ private:
+  const char* figure_;
+  BenchOptions opts_;
+  obs::Json doc_;
+  bool finished_ = false;
+};
 
 }  // namespace neutrino::bench

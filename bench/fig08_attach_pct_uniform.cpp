@@ -7,10 +7,18 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header("fig08", "attach PCT, uniform traffic",
-                      "EPC knee ~60KPPS, Neutrino knee ~120KPPS, 2.3-3.4x");
-  const double rates[] = {40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3};
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig08", "attach PCT, uniform traffic",
+                       "EPC knee ~60KPPS, Neutrino knee ~120KPPS, 2.3-3.4x");
+  const std::vector<double> rates =
+      report.smoke()
+          ? std::vector<double>{40e3}
+          : std::vector<double>{40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3};
+  const SimTime duration =
+      SimTime::milliseconds(report.smoke() ? 100 : 1500);
+  report.config()["rates_pps"].make_array();
+  for (const double r : rates) report.config()["rates_pps"].push_back(r);
+  report.config()["duration_ms"] = duration.ms();
   for (const auto& policy :
        {core::existing_epc_policy(), core::neutrino_policy()}) {
     for (const double rate : rates) {
@@ -19,15 +27,16 @@ int main() {
       // The paper's testbed: one region, five CPF instances.
       cfg.topo = core::TopologyConfig{};
       cfg.proto = core::ProtocolConfig{};
-      trace::UniformWorkload workload(rate, SimTime::milliseconds(1500), {},
-                                      /*seed=*/42);
+      // Attach-time decomposition by hop (--no-decompose to disable).
+      cfg.trace_decomposition = report.decompose();
+      trace::UniformWorkload workload(rate, duration, {}, /*seed=*/42);
       const auto t = workload.generate(/*ue_population=*/10'000'000,
                                        cfg.topo.total_regions());
       const auto result = bench::run_experiment(cfg, t);
-      bench::print_pct_row(
-          "fig08", policy.name, rate,
-          result.metrics.pct[static_cast<std::size_t>(
-              core::ProcedureType::kAttach)]);
+      report.add_pct_row(policy.name, rate,
+                         result.metrics.pct[static_cast<std::size_t>(
+                             core::ProcedureType::kAttach)],
+                         &result);
     }
   }
   return 0;

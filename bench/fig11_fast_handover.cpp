@@ -7,9 +7,9 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header(
-      "fig11", "inter-CPF handover PCT: proactive geo-replication",
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "fig11", "inter-CPF handover PCT: proactive geo-replication",
       "Neutrino-Proactive up to 7x over EPC; Default in between");
   auto neutrino_default = core::neutrino_policy();
   neutrino_default.name = "Neutrino-Default";
@@ -17,7 +17,15 @@ int main() {
   auto neutrino_proactive = core::neutrino_policy();
   neutrino_proactive.name = "Neutrino-Proactive";
 
-  const double rates[] = {40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3};
+  const std::vector<double> rates =
+      report.smoke()
+          ? std::vector<double>{40e3}
+          : std::vector<double>{40e3, 60e3, 80e3, 100e3, 120e3, 140e3, 160e3};
+  const SimTime duration =
+      SimTime::milliseconds(report.smoke() ? 200 : 1000);
+  report.config()["rates_pps"].make_array();
+  for (const double r : rates) report.config()["rates_pps"].push_back(r);
+  report.config()["duration_ms"] = duration.ms();
   for (const auto& policy : {core::existing_epc_policy(), neutrino_default,
                              neutrino_proactive}) {
     for (const double rate : rates) {
@@ -25,17 +33,17 @@ int main() {
       cfg.policy = policy;
       cfg.topo.l1_per_l2 = 4;
       cfg.topo.latency = bench::testbed_latencies();
+      cfg.trace_decomposition = report.decompose();
       const auto population = static_cast<std::uint64_t>(rate * 1.2);
       cfg.preattached_ues = population;
       trace::ProcedureMix mix{.handover = 1.0};
-      trace::UniformWorkload workload(rate, SimTime::milliseconds(1000), mix,
-                                      /*seed=*/42);
+      trace::UniformWorkload workload(rate, duration, mix, /*seed=*/42);
       const auto t = workload.generate(population, cfg.topo.total_regions());
       const auto result = bench::run_experiment(cfg, t);
-      bench::print_pct_row(
-          "fig11", policy.name, rate,
-          result.metrics.pct[static_cast<std::size_t>(
-              core::ProcedureType::kHandover)]);
+      report.add_pct_row(policy.name, rate,
+                         result.metrics.pct[static_cast<std::size_t>(
+                             core::ProcedureType::kHandover)],
+                         &result);
     }
   }
   return 0;

@@ -12,15 +12,19 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header("fig13", "self-driving deadline misses (100 ms budget)",
-                      "Neutrino up to 2.8x fewer misses");
-  const std::uint64_t counts[] = {50'000, 100'000, 200'000, 500'000};
-  bench::run_mobility_app_scenario(
-      "fig13", "single-HO", apps::DeadlineApp::kSelfDrivingDeadline(), counts,
-      /*handovers=*/1);
-  bench::run_mobility_app_scenario(
-      "fig13", "multi-HO", apps::DeadlineApp::kSelfDrivingDeadline(), counts,
-      /*handovers=*/8);
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig13",
+                       "self-driving deadline misses (100 ms budget)",
+                       "Neutrino up to 2.8x fewer misses");
+  const std::vector<std::uint64_t> counts =
+      report.smoke()
+          ? std::vector<std::uint64_t>{50'000}
+          : std::vector<std::uint64_t>{50'000, 100'000, 200'000, 500'000};
+  bench::run_mobility_app_scenario(report, "fig13", "single-HO",
+                                   apps::DeadlineApp::kSelfDrivingDeadline(),
+                                   counts, /*handovers=*/1);
+  bench::run_mobility_app_scenario(report, "fig13", "multi-HO",
+                                   apps::DeadlineApp::kSelfDrivingDeadline(),
+                                   counts, /*handovers=*/8);
   return 0;
 }

@@ -7,15 +7,18 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header("fig14", "VR deadline misses (16 ms budget)",
-                      "Neutrino up to 2.5x fewer misses");
-  const std::uint64_t counts[] = {10'000,  20'000,  50'000,
-                                  100'000, 200'000, 500'000};
-  bench::run_mobility_app_scenario("fig14", "single-HO",
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig14", "VR deadline misses (16 ms budget)",
+                       "Neutrino up to 2.5x fewer misses");
+  const std::vector<std::uint64_t> counts =
+      report.smoke()
+          ? std::vector<std::uint64_t>{10'000}
+          : std::vector<std::uint64_t>{10'000,  20'000,  50'000,
+                                       100'000, 200'000, 500'000};
+  bench::run_mobility_app_scenario(report, "fig14", "single-HO",
                                    apps::DeadlineApp::kVrDeadline(), counts,
                                    /*handovers=*/1);
-  bench::run_mobility_app_scenario("fig14", "multi-HO",
+  bench::run_mobility_app_scenario(report, "fig14", "multi-HO",
                                    apps::DeadlineApp::kVrDeadline(), counts,
                                    /*handovers=*/8);
   return 0;

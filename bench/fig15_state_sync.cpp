@@ -8,9 +8,9 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header(
-      "fig15", "attach PCT by state-synchronization scheme",
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "fig15", "attach PCT by state-synchronization scheme",
       "PerMsg worst; PerProc barely above NoRep");
   auto no_rep = core::neutrino_policy();
   no_rep.name = "NoRep";
@@ -23,20 +23,27 @@ int main() {
   auto per_proc = core::neutrino_policy();
   per_proc.name = "PerProcRep";
 
-  const double rates[] = {20e3, 40e3, 60e3, 80e3, 100e3};
+  const std::vector<double> rates =
+      report.smoke() ? std::vector<double>{40e3}
+                     : std::vector<double>{20e3, 40e3, 60e3, 80e3, 100e3};
+  const SimTime duration =
+      SimTime::milliseconds(report.smoke() ? 100 : 1000);
+  report.config()["rates_pps"].make_array();
+  for (const double r : rates) report.config()["rates_pps"].push_back(r);
+  report.config()["duration_ms"] = duration.ms();
   for (const auto& policy : {no_rep, per_msg, per_proc}) {
     for (const double rate : rates) {
       bench::ExperimentConfig cfg;
       cfg.policy = policy;
-      trace::UniformWorkload workload(rate, SimTime::milliseconds(1000), {},
-                                      /*seed=*/42);
+      cfg.trace_decomposition = report.decompose();
+      trace::UniformWorkload workload(rate, duration, {}, /*seed=*/42);
       const auto t = workload.generate(static_cast<std::uint64_t>(rate * 2),
                                        cfg.topo.total_regions());
       const auto result = bench::run_experiment(cfg, t);
-      bench::print_pct_row(
-          "fig15", policy.name, rate,
-          result.metrics.pct[static_cast<std::size_t>(
-              core::ProcedureType::kAttach)]);
+      report.add_pct_row(policy.name, rate,
+                         result.metrics.pct[static_cast<std::size_t>(
+                             core::ProcedureType::kAttach)],
+                         &result);
     }
   }
   return 0;

@@ -6,29 +6,38 @@
 
 using namespace neutrino;
 
-int main() {
-  bench::print_header("fig16", "attach PCT with and without CTA logging",
-                      "logging has negligible PCT impact");
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig16",
+                       "attach PCT with and without CTA logging",
+                       "logging has negligible PCT impact");
   auto logging_on = core::neutrino_policy();
   logging_on.name = "Logging";
   auto logging_off = core::neutrino_policy();
   logging_off.name = "NoLogging";
   logging_off.cta_message_logging = false;
 
-  const double rates[] = {20e3, 40e3, 60e3, 80e3, 100e3, 120e3, 140e3};
+  const std::vector<double> rates =
+      report.smoke()
+          ? std::vector<double>{40e3}
+          : std::vector<double>{20e3, 40e3, 60e3, 80e3, 100e3, 120e3, 140e3};
+  const SimTime duration =
+      SimTime::milliseconds(report.smoke() ? 100 : 1000);
+  report.config()["rates_pps"].make_array();
+  for (const double r : rates) report.config()["rates_pps"].push_back(r);
+  report.config()["duration_ms"] = duration.ms();
   for (const auto& policy : {logging_on, logging_off}) {
     for (const double rate : rates) {
       bench::ExperimentConfig cfg;
       cfg.policy = policy;
-      trace::UniformWorkload workload(rate, SimTime::milliseconds(1000), {},
-                                      /*seed=*/42);
+      cfg.trace_decomposition = report.decompose();
+      trace::UniformWorkload workload(rate, duration, {}, /*seed=*/42);
       const auto t = workload.generate(static_cast<std::uint64_t>(rate * 2),
                                        cfg.topo.total_regions());
       const auto result = bench::run_experiment(cfg, t);
-      bench::print_pct_row(
-          "fig16", policy.name, rate,
-          result.metrics.pct[static_cast<std::size_t>(
-              core::ProcedureType::kAttach)]);
+      report.add_pct_row(policy.name, rate,
+                         result.metrics.pct[static_cast<std::size_t>(
+                             core::ProcedureType::kAttach)],
+                         &result);
     }
   }
   return 0;

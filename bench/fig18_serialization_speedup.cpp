@@ -7,6 +7,7 @@
 //
 // Real measurement over the from-scratch codecs; the custom message wraps
 // each element in an S1AP ProtocolIE (see s1ap/custom_message.hpp).
+#include "bench_util.hpp"
 #include "codec_timing.hpp"
 #include "s1ap/custom_message.hpp"
 
@@ -15,22 +16,27 @@ using namespace neutrino;
 namespace {
 
 template <std::size_t N>
-void row() {
+void row(bench::Report& report, int iters) {
   s1ap::CustomMessage<N> msg;
   msg.fill(42);
   const double asn1 =
-      bench::measure_encode_decode_ns(ser::WireFormat::kAsn1Per, msg);
+      bench::measure_encode_decode_ns(ser::WireFormat::kAsn1Per, msg, iters);
   std::printf("fig18\t%2zu", N);
   std::printf("\tasn1_ns=%.0f", asn1);
+  obs::Json& json_row = report.new_row("codecs");
+  json_row["x"] = static_cast<std::uint64_t>(N);
+  json_row["asn1_ns"] = asn1;
+  json_row["speedup_over_asn1"].make_object();
   const ser::WireFormat formats[] = {
       ser::WireFormat::kFastCdr,      ser::WireFormat::kLcm,
       ser::WireFormat::kProtobuf,     ser::WireFormat::kFlexBuffers,
       ser::WireFormat::kFlatBuffers,  ser::WireFormat::kOptimizedFlatBuffers,
   };
   for (const auto f : formats) {
-    const double t = bench::measure_encode_decode_ns(f, msg);
+    const double t = bench::measure_encode_decode_ns(f, msg, iters);
     std::printf("\t%s=%.2fx", std::string(ser::to_string(f)).c_str(),
                 asn1 / t);
+    json_row["speedup_over_asn1"][ser::to_string(f)] = asn1 / t;
   }
   std::printf("\n");
   std::fflush(stdout);
@@ -38,20 +44,23 @@ void row() {
 
 }  // namespace
 
-int main() {
-  std::printf("# fig18 — en/decoding speedup over ASN.1 vs element count\n");
-  std::printf("# paper: CDR/LCM best <7 elements, FBs wins beyond, 1.6-19.2x\n");
-  row<1>();
-  row<3>();
-  row<5>();
-  row<7>();
-  row<9>();
-  row<12>();
-  row<16>();
-  row<20>();
-  row<25>();
-  row<30>();
-  row<35>();
+int main(int argc, char** argv) {
+  bench::Report report(
+      argc, argv, "fig18", "en/decoding speedup over ASN.1 vs element count",
+      "CDR/LCM best <7 elements, FBs wins beyond, 1.6-19.2x");
+  const int iters = report.smoke() ? 300 : 3000;
+  report.config()["iters"] = iters;
+  row<1>(report, iters);
+  row<3>(report, iters);
+  row<5>(report, iters);
+  row<7>(report, iters);
+  row<9>(report, iters);
+  row<12>(report, iters);
+  row<16>(report, iters);
+  row<20>(report, iters);
+  row<25>(report, iters);
+  row<30>(report, iters);
+  row<35>(report, iters);
   std::printf("# checksum=%llu\n",
               static_cast<unsigned long long>(bench::codec_sink));
   return 0;

@@ -4,27 +4,37 @@
 // Paper (§6.7.4): up to 5.9x decrease in encode+decode time with
 // FlatBuffers over ASN.1, with a further decrease from the svtable
 // optimization in some cases.
+#include "bench_util.hpp"
 #include "codec_timing.hpp"
 #include "s1ap/samples.hpp"
 
 using namespace neutrino;
 
-int main() {
-  std::printf("# fig19 — encode+decode times, real S1 protocol messages\n");
-  std::printf("# paper: FBs up to 5.9x faster than ASN.1; OptFBs best\n");
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig19",
+                       "encode+decode times, real S1 protocol messages",
+                       "FBs up to 5.9x faster than ASN.1; OptFBs best");
+  const int iters = report.smoke() ? 300 : 3000;
+  report.config()["iters"] = iters;
   for (auto& named : s1ap::samples::figure19_messages()) {
-    const double asn1 =
-        bench::measure_encode_decode_ns(ser::WireFormat::kAsn1Per, named.pdu);
+    const double asn1 = bench::measure_encode_decode_ns(
+        ser::WireFormat::kAsn1Per, named.pdu, iters);
     const double fbs = bench::measure_encode_decode_ns(
-        ser::WireFormat::kFlatBuffers, named.pdu);
+        ser::WireFormat::kFlatBuffers, named.pdu, iters);
     const double opt = bench::measure_encode_decode_ns(
-        ser::WireFormat::kOptimizedFlatBuffers, named.pdu);
+        ser::WireFormat::kOptimizedFlatBuffers, named.pdu, iters);
     std::printf(
         "fig19\t%-28s\tasn1_ns=%.0f\tfbs_ns=%.0f\toptfbs_ns=%.0f\t"
         "fbs_speedup=%.2fx\toptfbs_speedup=%.2fx\n",
         std::string(named.name).c_str(), asn1, fbs, opt, asn1 / fbs,
         asn1 / opt);
     std::fflush(stdout);
+    obs::Json& row = report.new_row(named.name);
+    row["asn1_ns"] = asn1;
+    row["fbs_ns"] = fbs;
+    row["optfbs_ns"] = opt;
+    row["fbs_speedup"] = asn1 / fbs;
+    row["optfbs_speedup"] = asn1 / opt;
   }
   std::printf("# checksum=%llu\n",
               static_cast<unsigned long long>(bench::codec_sink));

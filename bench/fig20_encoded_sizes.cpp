@@ -5,14 +5,16 @@
 // ASN.1 PER; the svtable optimization saves up to 32 bytes per message.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "s1ap/samples.hpp"
 #include "serialize/codec.hpp"
 
 using namespace neutrino;
 
-int main() {
-  std::printf("# fig20 — encoded buffer sizes, real S1 protocol messages\n");
-  std::printf("# paper: FBs <= ASN.1 + ~300B; svtable saves up to 32B\n");
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "fig20",
+                       "encoded buffer sizes, real S1 protocol messages",
+                       "FBs <= ASN.1 + ~300B; svtable saves up to 32B");
   for (auto& named : s1ap::samples::figure19_messages()) {
     const auto asn1 = ser::encode(ser::WireFormat::kAsn1Per, named.pdu).size();
     const auto fbs =
@@ -24,6 +26,12 @@ int main() {
         "fbs_overhead_B=%zu\tsvtable_saving_B=%zu\n",
         std::string(named.name).c_str(), asn1, fbs, opt, fbs - asn1,
         fbs - opt);
+    obs::Json& row = report.new_row(named.name);
+    row["asn1_bytes"] = static_cast<std::uint64_t>(asn1);
+    row["fbs_bytes"] = static_cast<std::uint64_t>(fbs);
+    row["optfbs_bytes"] = static_cast<std::uint64_t>(opt);
+    row["fbs_overhead_bytes"] = static_cast<std::uint64_t>(fbs - asn1);
+    row["svtable_saving_bytes"] = static_cast<std::uint64_t>(fbs - opt);
   }
   return 0;
 }

@@ -11,10 +11,12 @@
 
 namespace neutrino::bench {
 
-inline void run_mobility_app_scenario(const char* figure,
+inline void run_mobility_app_scenario(Report& report, const char* figure,
                                       const char* scenario, SimTime deadline,
                                       std::span<const std::uint64_t> counts,
                                       int handovers) {
+  const SimTime window =
+      SimTime::milliseconds(report.smoke() ? 1000 : 6000);
   for (const auto& policy :
        {core::existing_epc_policy(), core::neutrino_policy()}) {
     for (const std::uint64_t users : counts) {
@@ -28,9 +30,8 @@ inline void run_mobility_app_scenario(const char* figure,
       trace::ProcedureMix mix{.service_request = 1.0};
       // Load runs for the whole drive so every handover competes with it
       // (the paper's 60 s runs keep load and mobility concurrent).
-      trace::UniformWorkload background(static_cast<double>(users),
-                                        SimTime::milliseconds(6000), mix,
-                                        /*seed=*/42);
+      trace::UniformWorkload background(static_cast<double>(users), window,
+                                        mix, /*seed=*/42);
       auto t = background.generate(users, cfg.topo.total_regions());
 
       std::sort(t.begin(), t.end(),
@@ -48,7 +49,7 @@ inline void run_mobility_app_scenario(const char* figure,
       app.deadline = deadline;
       app.radio_gap = SimTime::milliseconds(25);  // LTE retune interruption
       std::uint64_t missed = 0;
-      run_experiment(
+      const auto result = run_experiment(
           cfg, t,
           [&](core::System& system, sim::EventLoop& loop) {
             // Driver: issue the next handover as soon as the previous one
@@ -89,6 +90,13 @@ inline void run_mobility_app_scenario(const char* figure,
                   std::string(policy.name).c_str(),
                   static_cast<unsigned long long>(users),
                   static_cast<unsigned long long>(missed));
+      obs::Json& row = report.new_row(policy.name);
+      row["scenario"] = scenario;
+      row["x"] = users;
+      row["handovers"] = handovers;
+      row["deadline_ms"] = deadline.ms();
+      row["missed_deadlines"] = missed;
+      Report::attach_result(row, result);
     }
   }
 }

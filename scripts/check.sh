@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full local gate: sanitized build, tests, bench smoke runs, and JSON
+# report validation. Run from the repo root:
+#
+#   scripts/check.sh            # everything (Debug + ASan/UBSan)
+#   FAST=1 scripts/check.sh     # reuse an existing build/ instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${FAST:-0}" == "1" ]]; then
+  BUILD=build
+  EXCLUDE=()
+  cmake -B "$BUILD" -S . >/dev/null
+else
+  BUILD=build-asan
+  # Wall-clock-anchored calibration tests measure the *real* codecs;
+  # sanitizer instrumentation skews the measurement, not the code under
+  # test, so they only run in the un-instrumented configuration.
+  EXCLUDE=(-E "MeasuredCostModel.AttachBudgetAnchored")
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    >/dev/null
+fi
+echo "== build ($BUILD)"
+cmake --build "$BUILD" -j
+
+echo "== ctest"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" "${EXCLUDE[@]}"
+
+echo "== bench smoke + report validation"
+REPORTS=()
+for bench in fig07_service_request_pct fig08_attach_pct_uniform; do
+  out="$BUILD/bench/$bench.smoke-report.json"
+  "$BUILD/bench/$bench" --smoke --report="$out" >/dev/null
+  REPORTS+=("$out")
+done
+python3 scripts/validate_report.py "${REPORTS[@]}"
+
+echo "== trace demo"
+"$BUILD/examples/trace_explore" >/dev/null
+
+echo "check.sh: all green"

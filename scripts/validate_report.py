@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate a neutrino.bench-report JSON document.
+
+Usage:  python3 scripts/validate_report.py REPORT.json [REPORT2.json ...]
+
+A report may be a bare JSON file (--report=PATH) or a bench's stdout with
+the TSV rows still in front (the JSON document starts at the first line
+that is exactly "{"). Checks, per file:
+
+  * schema/version envelope and required keys;
+  * every row has a system name; percentile summaries are internally
+    consistent (count > 0 implies p50 <= p99 <= max);
+  * counters are non-negative integers;
+  * when a row carries decomposition_ms, each procedure's component means
+    (propagation + queueing + service + serialization + other) sum to the
+    "total" mean within 1% — the tracer's tiling guarantee.
+
+Exit code 0 when every file passes. No third-party dependencies.
+"""
+import json
+import sys
+
+COMPONENTS = ("propagation", "queueing", "service", "serialization", "other")
+SCHEMA = "neutrino.bench-report"
+
+
+def extract_json(text):
+    """Return the JSON document embedded in bench stdout (or the whole file)."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return json.loads(stripped)
+    for i, line in enumerate(text.splitlines(keepends=True)):
+        if line.rstrip("\n") == "{":
+            return json.loads("".join(text.splitlines(keepends=True)[i:]))
+    raise ValueError("no JSON document found")
+
+
+def check_summary(path, where, s, errors):
+    for k in ("n", "mean", "p50", "p99", "max"):
+        if k not in s:
+            errors.append(f"{path}: {where}: summary missing '{k}'")
+            return
+    if s["n"] > 0 and not (s["p50"] <= s["p99"] <= s["max"]):
+        errors.append(f"{path}: {where}: percentiles not monotone: {s}")
+
+
+def check_decomposition(path, where, decomp, errors):
+    for proc, comps in decomp.items():
+        if "total" not in comps:
+            errors.append(f"{path}: {where}: {proc}: no 'total' component")
+            continue
+        total = comps["total"]["mean"]
+        parts = [c for c in COMPONENTS if c in comps]
+        missing = [c for c in COMPONENTS if c not in comps]
+        if missing:
+            errors.append(f"{path}: {where}: {proc}: missing {missing}")
+        s = sum(comps[c]["mean"] for c in parts)
+        tol = max(abs(total) * 0.01, 1e-9)
+        if abs(s - total) > tol:
+            errors.append(
+                f"{path}: {where}: {proc}: components sum to {s:.6f} "
+                f"but total is {total:.6f} (>1% off)")
+
+
+def check_rows(path, rows, errors):
+    decomposed = 0
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if "system" not in row:
+            errors.append(f"{path}: {where}: missing 'system'")
+        for key, val in row.items():
+            if isinstance(val, dict) and "p50" in val and "n" in val:
+                check_summary(path, f"{where}.{key}", val, errors)
+        counters = row.get("counters", {})
+        for name, v in counters.items():
+            if not isinstance(v, int) or v < 0:
+                errors.append(f"{path}: {where}: counter {name} = {v!r}")
+        if "decomposition_ms" in row:
+            decomposed += 1
+            check_decomposition(path, where, row["decomposition_ms"], errors)
+        # Nested results (ablations attach clean/under_failure sub-objects).
+        for key in ("clean", "under_failure"):
+            if key in row and "decomposition_ms" in row[key]:
+                decomposed += 1
+                check_decomposition(path, f"{where}.{key}",
+                                    row[key]["decomposition_ms"], errors)
+    return decomposed
+
+
+def validate(path):
+    errors = []
+    try:
+        doc = extract_json(open(path).read())
+    except (ValueError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot parse: {e}"], 0
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("version"), int):
+        errors.append(f"{path}: missing integer 'version'")
+    for k in ("figure", "title", "config", "rows"):
+        if k not in doc:
+            errors.append(f"{path}: missing '{k}'")
+    if not doc.get("rows"):
+        errors.append(f"{path}: no rows")
+    decomposed = check_rows(path, doc.get("rows", []), errors)
+    return errors, decomposed
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors, decomposed = validate(path)
+        for e in errors:
+            print(f"FAIL {e}")
+        if errors:
+            failed = True
+        else:
+            extra = f", {decomposed} decomposed rows" if decomposed else ""
+            print(f"OK   {path}{extra}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace neutrino {
@@ -59,7 +60,9 @@ class LatencyRecorder {
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
-  /// q in [0,1]; nearest-rank percentile.
+  /// q in [0,1]; linearly interpolated between the two nearest order
+  /// statistics (numpy's default "linear" method), so small samples give
+  /// smooth percentile curves instead of step functions.
   [[nodiscard]] double percentile(double q) const {
     assert(!samples_.empty());
     sort_if_needed();
@@ -86,6 +89,24 @@ class LatencyRecorder {
     double sum = 0.0;
     for (double v : samples_) sum += v;
     return samples_.empty() ? 0.0 : sum / static_cast<double>(samples_.size());
+  }
+
+  /// The fixed set of summary statistics every exporter row carries.
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+    double max = 0.0;
+  };
+
+  [[nodiscard]] Summary summary() const {
+    if (samples_.empty()) return {};
+    return {count(),           mean(),           percentile(0.5),
+            percentile(0.9),   percentile(0.99), percentile(0.999),
+            max()};
   }
 
  private:

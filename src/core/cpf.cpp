@@ -18,17 +18,34 @@ void Cpf::deliver(Msg msg) {
   // SkyCore-style per-message replication locks and serializes the UE
   // state synchronously with every control message — on the request core,
   // which is exactly the overhead Fig. 15 charges it for.
+  SimTime serialize;  // per-message sync share, traced as its own hop
   if (system_->policy().sync_mode == SyncMode::kPerMessage &&
       is_ue_control_message(msg.kind)) {
-    cost += system_->costs().state_serialize_time(
+    serialize = system_->costs().state_serialize_time(
         system_->policy().wire_format);
+    cost += serialize;
   }
+  const auto trace_pool = [&](const sim::ServerPool& pool) {
+    obs::ProcTracer* tr = system_->tracer();
+    if (!tr) return;
+    const SimTime now = system_->loop().now();
+    const SimTime queued = pool.backlog();
+    tr->hop(msg, obs::HopClass::kQueueing, "cpf", id_.value(), now,
+            now + queued);
+    tr->hop(msg, obs::HopClass::kService, "cpf", id_.value(), now + queued,
+            now + queued + (cost - serialize));
+    if (serialize > SimTime{}) {
+      tr->hop(msg, obs::HopClass::kSerialization, "cpf", id_.value(),
+              now + queued + (cost - serialize), now + queued + cost);
+    }
+  };
   switch (msg.kind) {
     // Replication traffic runs on the dedicated sync core (§5: "one for
     // processing requests and the second one for state synchronization"),
     // keeping it off the critical path.
     case MsgKind::kStateCheckpoint:
     case MsgKind::kOutdatedNotify:
+      trace_pool(sync_pool_);
       sync_pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
         handle_replication(msg);
       });
@@ -36,11 +53,13 @@ void Cpf::deliver(Msg msg) {
     case MsgKind::kStateFetch:
       // A fetch serves a live procedure (FastHandover/TAU arrival) — it
       // belongs on the request core, not behind bulk checkpoint traffic.
+      trace_pool(request_pool_);
       request_pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
         handle_replication(msg);
       });
       return;
     default:
+      trace_pool(request_pool_);
       request_pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
         handle(msg);
       });
@@ -300,9 +319,16 @@ void Cpf::handle_handover_source(Msg& msg) {
         request.served_proc = store_[msg.ue].state->last_completed_proc;
         request.state = store_[msg.ue].state;
         ++system_->metrics().migrations;
+        const SimTime serialize = system_->costs().state_serialize_time(
+            system_->policy().wire_format);
+        if (obs::ProcTracer* tr = system_->tracer()) {
+          const SimTime now = system_->loop().now();
+          const SimTime queued = request_pool_.backlog();
+          tr->hop(request, obs::HopClass::kSerialization, "cpf", id_.value(),
+                  now + queued, now + queued + serialize);
+        }
         request_pool_.submit(
-            system_->costs().state_serialize_time(
-                system_->policy().wire_format),
+            serialize,
             [this, target, request = std::move(request)]() mutable {
               system_->cpf_to_cpf(id_, target, std::move(request));
             });
@@ -754,6 +780,8 @@ void Cpf::crash() {
 #endif
   alive_ = false;
   ++epoch_;
+  ++system_->metrics().registry.counter(
+      "cpf.crashes", {{"cpf", std::to_string(id_.value())}});
   request_pool_.reset();
   sync_pool_.reset();
   store_.clear();  // volatile state is gone

@@ -76,6 +76,13 @@ void Cta::deliver_uplink(Msg msg) {
       is_ue_control_message(msg.kind)) {
     cost += system_->proto().cta_log_cost;
   }
+  if (obs::ProcTracer* tr = system_->tracer()) {
+    const SimTime now = system_->loop().now();
+    const SimTime queued = pool_.backlog();
+    tr->hop(msg, obs::HopClass::kQueueing, "cta", region_, now, now + queued);
+    tr->hop(msg, obs::HopClass::kService, "cta", region_, now + queued,
+            now + queued + cost);
+  }
   pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
     forward_uplink(std::move(msg));
   });
@@ -143,6 +150,14 @@ void Cta::forward_uplink(Msg msg) {
 
 void Cta::deliver_downlink(Msg msg) {
   if (!alive_) return;
+  if (obs::ProcTracer* tr = system_->tracer()) {
+    const SimTime now = system_->loop().now();
+    const SimTime queued = pool_.backlog();
+    const SimTime cost = system_->proto().cta_forward_cost;
+    tr->hop(msg, obs::HopClass::kQueueing, "cta", region_, now, now + queued);
+    tr->hop(msg, obs::HopClass::kService, "cta", region_, now + queued,
+            now + queued + cost);
+  }
   pool_.submit(system_->proto().cta_forward_cost,
                [this, msg = std::move(msg)]() mutable {
     if (msg.kind == MsgKind::kCheckpointAck) {
@@ -319,6 +334,13 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
 #endif
   Metrics& metrics = system_->metrics();
   const CorePolicy& policy = system_->policy();
+  // Which recovery scenario actually fired, labeled per region — recovery
+  // is rare, so the registry lookup cost here is irrelevant.
+  auto count_recovery = [&](const char* scenario) {
+    ++metrics.registry.counter("cta.recoveries",
+                               {{"region", std::to_string(region_)},
+                                {"scenario", scenario}});
+  };
 
   auto command_reattach = [&] {
     // Failure scenario 3/4: no usable replica — the UE rebuilds a
@@ -333,6 +355,7 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
     cmd.is_replay = true;  // recovery-origin: the UE was hit by the crash
     rec.pending_request.reset();
     rec.override_route.reset();
+    count_recovery("reattach");
     system_->cta_to_ue(std::move(cmd));
   };
 
@@ -348,6 +371,7 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
         if (!system_->cpf_alive(b)) continue;
         rec.override_route = b;
         ++metrics.failovers;
+        count_recovery("failover");
         if (rec.pending_request) {
           Msg resend = *rec.pending_request;
           resend.is_replay = true;
@@ -398,8 +422,10 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
 #endif
         if (to_replay.empty()) {
           ++metrics.failovers;  // scenario 1: backup already up to date
+          count_recovery("failover");
         } else {
           metrics.replays += to_replay.size();
+          count_recovery("replay");
           for (const Msg* original : to_replay) {
             Msg replay = *original;
             replay.is_replay = true;

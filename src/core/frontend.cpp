@@ -26,6 +26,9 @@ void Frontend::start_procedure(UeId ue, ProcedureType type,
   ctx.under_failure = false;
   ctx.ho_target = target_region;
   ++system_->metrics().procedures_started;
+  if (obs::ProcTracer* tr = system_->tracer()) {
+    tr->begin(ue, ctx.proc_seq, type, ctx.start_time);
+  }
 
   switch (type) {
     case ProcedureType::kAttach:
@@ -204,6 +207,19 @@ void Frontend::complete(UeCtx& ctx, UeId ue, const Msg& /*final_msg*/) {
     metrics.pct_failure_for(ctx.reported_type).add(pct_ms);
   }
   ++metrics.procedures_completed;
+  // Per-type completion counter; the handle is looked up once per type and
+  // cached — this is the hot path.
+  const auto type_idx = static_cast<std::size_t>(ctx.reported_type);
+  if (completion_counters_[type_idx] == nullptr) {
+    completion_counters_[type_idx] = &metrics.registry.counter(
+        "frontend.completions",
+        {{"proc", std::string{to_string(ctx.reported_type)}}});
+  }
+  ++*completion_counters_[type_idx];
+  if (obs::ProcTracer* tr = system_->tracer()) {
+    if (ctx.under_failure) tr->mark_under_failure(ue);
+    tr->end(ue, ctx.proc_seq, system_->loop().now());
+  }
   if (ctx.paging_response) {
     ++metrics.downlink_delivered;  // the paged data can now flow
     ctx.paging_response = false;
@@ -221,6 +237,10 @@ void Frontend::begin_reattach(UeCtx& ctx, UeId ue) {
   ctx.attached = false;
   ctx.proc_type = ProcedureType::kReattach;
   ctx.proc_seq = ctx.next_proc_seq++;
+  if (obs::ProcTracer* tr = system_->tracer()) {
+    // The span keeps covering the procedure under its recovery seq.
+    tr->annex(ue, ctx.proc_seq);
+  }
   ctx.awaiting = system_->policy().dpcm_device_state
                      ? MsgKind::kAttachAccept
                      : MsgKind::kAuthRequest;
@@ -251,6 +271,9 @@ void Frontend::check_ryw(UeCtx& ctx, const Msg& msg) {
   }
   if (msg.served_proc != ctx.last_completed_seq) {
     ++system_->metrics().ryw_violations;
+    if (obs::ProcTracer* tr = system_->tracer()) {
+      tr->mark_violation(msg.ue);
+    }
 #ifdef NEUTRINO_RYW_DEBUG
     fprintf(stderr,
             "[RYW] t=%ld ue=%lu kind=%d proc_type=%d seq=%lu served=%lu "

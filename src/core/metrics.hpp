@@ -1,4 +1,18 @@
 // Experiment metrics: PCT distributions and protocol counters.
+//
+// Counters live in an obs::Registry (named "core.<counter>") so the
+// structured exporter and ad-hoc tooling can enumerate them; the named
+// reference members below keep every existing `++metrics.replays`-style
+// call site source-compatible. The registry also receives the labeled
+// extras the flat struct could never hold: per-procedure-type completion
+// counts, per-CPF crash/recovery counters, the PCT decomposition
+// histograms folded in by an attached obs::ProcTracer, and the
+// queue-depth / log-occupancy time series pushed by
+// System::sample_occupancy().
+//
+// Metrics is movable (run_experiment moves it into ExperimentResult):
+// the references stay valid because registry instruments are std::map
+// nodes, whose addresses survive the map move.
 #pragma once
 
 #include <array>
@@ -6,11 +20,24 @@
 
 #include "common/stats.hpp"
 #include "core/msg.hpp"
+#include "obs/registry.hpp"
 
 namespace neutrino::core {
 
 struct Metrics {
   static constexpr std::size_t kProcTypes = 7;
+
+  // Movable, not copyable: a copy's reference members would alias the
+  // source's registry nodes. A move transfers the map nodes, so the
+  // references keep pointing at this object's own instruments.
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+  Metrics(Metrics&&) = default;
+  Metrics& operator=(Metrics&&) = delete;
+
+  /// Names every instrument below lives under; benches may add their own.
+  obs::Registry registry;
 
   /// Procedure completion time in milliseconds, by procedure type.
   std::array<LatencyRecorder, kProcTypes> pct;
@@ -24,34 +51,43 @@ struct Metrics {
     return pct_under_failure[static_cast<std::size_t>(t)];
   }
 
-  // Protocol counters.
-  std::uint64_t procedures_started = 0;
-  std::uint64_t procedures_completed = 0;
-  std::uint64_t reattaches = 0;         // failure scenario 3/4 recoveries
-  std::uint64_t replays = 0;            // scenario 2: messages replayed
-  std::uint64_t failovers = 0;          // scenario 1: clean backup takeover
-  std::uint64_t checkpoints_sent = 0;
-  std::uint64_t checkpoint_acks = 0;
-  std::uint64_t outdated_notifies = 0;  // §4.2.4 markings
-  std::uint64_t state_fetches = 0;
-  std::uint64_t fast_handovers = 0;     // proactive hit: no migration needed
-  std::uint64_t migrations = 0;         // state shipped at handover time
-  std::uint64_t log_appends = 0;
-  std::uint64_t log_prunes = 0;
+  // Protocol counters (registry-backed; see file comment).
+  obs::Counter& procedures_started = registry.counter("core.procedures_started");
+  obs::Counter& procedures_completed =
+      registry.counter("core.procedures_completed");
+  /// Failure scenario 3/4 recoveries.
+  obs::Counter& reattaches = registry.counter("core.reattaches");
+  /// Scenario 2: messages replayed.
+  obs::Counter& replays = registry.counter("core.replays");
+  /// Scenario 1: clean backup takeover.
+  obs::Counter& failovers = registry.counter("core.failovers");
+  obs::Counter& checkpoints_sent = registry.counter("core.checkpoints_sent");
+  obs::Counter& checkpoint_acks = registry.counter("core.checkpoint_acks");
+  /// §4.2.4 markings.
+  obs::Counter& outdated_notifies = registry.counter("core.outdated_notifies");
+  obs::Counter& state_fetches = registry.counter("core.state_fetches");
+  /// Proactive hit: no migration needed.
+  obs::Counter& fast_handovers = registry.counter("core.fast_handovers");
+  /// State shipped at handover time.
+  obs::Counter& migrations = registry.counter("core.migrations");
+  obs::Counter& log_appends = registry.counter("core.log_appends");
+  obs::Counter& log_prunes = registry.counter("core.log_prunes");
   // Downlink reachability (the §3.1 / Fig. 2 motivating scenario).
-  std::uint64_t pagings_sent = 0;
-  std::uint64_t downlink_delivered = 0;
-  std::uint64_t downlink_undeliverable = 0;
+  obs::Counter& pagings_sent = registry.counter("core.pagings_sent");
+  obs::Counter& downlink_delivered =
+      registry.counter("core.downlink_delivered");
+  obs::Counter& downlink_undeliverable =
+      registry.counter("core.downlink_undeliverable");
 
   /// CTA in-memory log accounting (Fig. 17).
   std::size_t cta_log_peak_bytes = 0;
 
   /// Read-your-Writes violations observed by the frontend. The consistency
   /// protocol's correctness claim is exactly: this stays zero.
-  std::uint64_t ryw_violations = 0;
+  obs::Counter& ryw_violations = registry.counter("core.ryw_violations");
   /// Responses served from provably stale state (subset of the above,
   /// counted at the CPF).
-  std::uint64_t stale_serves = 0;
+  obs::Counter& stale_serves = registry.counter("core.stale_serves");
 };
 
 }  // namespace neutrino::core

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "common/clock.hpp"
 #include "common/ids.hpp"

@@ -13,7 +13,15 @@ Upf::Upf(System& system, UpfId id, std::uint32_t region)
       pool_(system.loop(), system.topo().upf_cores) {}
 
 void Upf::deliver(Msg msg) {
-  pool_.submit(system_->proto().upf_op_cost,
+  const SimTime cost = system_->proto().upf_op_cost;
+  if (obs::ProcTracer* tr = system_->tracer()) {
+    const SimTime now = system_->loop().now();
+    const SimTime queued = pool_.backlog();
+    tr->hop(msg, obs::HopClass::kQueueing, "upf", region_, now, now + queued);
+    tr->hop(msg, obs::HopClass::kService, "upf", region_, now + queued,
+            now + queued + cost);
+  }
+  pool_.submit(cost,
                [this, msg = std::move(msg)]() mutable { handle(msg); });
 }
 
@@ -94,6 +102,7 @@ std::vector<CpfId> System::backups_for(UeId ue, std::uint32_t region) const {
 }
 
 void System::ue_to_cta(std::uint32_t region, Msg msg) {
+  trace_prop(msg, "ue->cta", region, topo_.latency.ue_to_cta);
   loop_->schedule_after(topo_.latency.ue_to_cta,
                         [this, region, msg = std::move(msg)]() mutable {
                           if (ctas_[region]->alive()) {
@@ -103,6 +112,7 @@ void System::ue_to_cta(std::uint32_t region, Msg msg) {
 }
 
 void System::cta_to_ue(Msg msg) {
+  trace_prop(msg, "cta->ue", msg.region, topo_.latency.ue_to_cta);
   loop_->schedule_after(topo_.latency.ue_to_cta,
                         [this, msg = std::move(msg)]() mutable {
                           frontend_->deliver(std::move(msg));
@@ -114,6 +124,7 @@ void System::cta_to_cpf(std::uint32_t cta_region, CpfId cpf, Msg msg) {
   const SimTime latency = cta_region == cpf_region
                               ? topo_.latency.cta_to_cpf
                               : topo_.cpf_link(cta_region, cpf_region);
+  trace_prop(msg, "cta->cpf", cpf.value(), latency);
   loop_->schedule_after(latency, [this, cpf, msg = std::move(msg)]() mutable {
     if (cpfs_[cpf.value()]->alive()) {
       cpfs_[cpf.value()]->deliver(std::move(msg));
@@ -126,6 +137,7 @@ void System::cpf_to_cta(CpfId from, std::uint32_t cta_region, Msg msg) {
   const SimTime latency = from_region == cta_region
                               ? topo_.latency.cta_to_cpf
                               : topo_.cpf_link(from_region, cta_region);
+  trace_prop(msg, "cpf->cta", cta_region, latency);
   loop_->schedule_after(latency,
                         [this, cta_region, msg = std::move(msg)]() mutable {
                           if (ctas_[cta_region]->alive()) {
@@ -137,6 +149,7 @@ void System::cpf_to_cta(CpfId from, std::uint32_t cta_region, Msg msg) {
 void System::cpf_to_cpf(CpfId from, CpfId to, Msg msg) {
   const SimTime latency =
       topo_.cpf_link(topo_.region_of_cpf(from), topo_.region_of_cpf(to));
+  trace_prop(msg, "cpf->cpf", to.value(), latency);
   loop_->schedule_after(latency, [this, to, msg = std::move(msg)]() mutable {
     if (cpfs_[to.value()]->alive()) {
       cpfs_[to.value()]->deliver(std::move(msg));
@@ -149,6 +162,7 @@ void System::cpf_to_upf(CpfId from, std::uint32_t upf_region, Msg msg) {
   const SimTime latency = from_region == upf_region
                               ? topo_.latency.cpf_to_upf
                               : topo_.cpf_link(from_region, upf_region);
+  trace_prop(msg, "cpf->upf", upf_region, latency);
   loop_->schedule_after(latency,
                         [this, upf_region, msg = std::move(msg)]() mutable {
                           upfs_[upf_region]->deliver(std::move(msg));
@@ -160,6 +174,7 @@ void System::upf_to_cpf(std::uint32_t upf_region, CpfId cpf, Msg msg) {
   const SimTime latency = upf_region == cpf_region
                               ? topo_.latency.cpf_to_upf
                               : topo_.cpf_link(upf_region, cpf_region);
+  trace_prop(msg, "upf->cpf", cpf.value(), latency);
   loop_->schedule_after(latency, [this, cpf, msg = std::move(msg)]() mutable {
     if (cpfs_[cpf.value()]->alive()) {
       cpfs_[cpf.value()]->deliver(std::move(msg));
@@ -173,6 +188,7 @@ void System::trigger_downlink(UeId ue) {
 }
 
 void System::upf_to_cta(std::uint32_t upf_region, Msg msg) {
+  trace_prop(msg, "upf->cta", upf_region, topo_.latency.cpf_to_upf);
   loop_->schedule_after(topo_.latency.cpf_to_upf,
                         [this, upf_region, msg = std::move(msg)]() mutable {
                           if (ctas_[upf_region]->alive()) {
@@ -208,6 +224,36 @@ void System::sample_log_sizes() {
   for (const auto& cta : ctas_) total += cta->log_bytes();
   metrics_->cta_log_peak_bytes =
       std::max(metrics_->cta_log_peak_bytes, total);
+  metrics_->registry.gauge("cta.log_peak_bytes")
+      .high_watermark(static_cast<double>(total));
+}
+
+void System::sample_occupancy() {
+  const SimTime now = loop_->now();
+  obs::Registry& reg = metrics_->registry;
+  for (std::size_t r = 0; r < ctas_.size(); ++r) {
+    const obs::Labels labels{{"region", std::to_string(r)}};
+    reg.time_series("cta.log_bytes", labels)
+        .push(now, static_cast<double>(ctas_[r]->log_bytes()));
+    reg.time_series("cta.log_messages", labels)
+        .push(now, static_cast<double>(ctas_[r]->log_messages()));
+    const auto cta_occ = ctas_[r]->pool_occupancy();
+    reg.time_series("cta.pool_depth", labels)
+        .push(now, static_cast<double>(cta_occ.depth));
+  }
+  for (std::size_t c = 0; c < cpfs_.size(); ++c) {
+    const obs::Labels labels{{"cpf", std::to_string(c)}};
+    const auto req = cpfs_[c]->request_occupancy();
+    const auto sync = cpfs_[c]->sync_occupancy();
+    reg.time_series("cpf.request_depth", labels)
+        .push(now, static_cast<double>(req.depth));
+    reg.time_series("cpf.request_backlog_us", labels)
+        .push(now, static_cast<double>(req.backlog.ns()) / 1e3);
+    reg.time_series("cpf.sync_depth", labels)
+        .push(now, static_cast<double>(sync.depth));
+    reg.time_series("cpf.sync_backlog_us", labels)
+        .push(now, static_cast<double>(sync.backlog.ns()) / 1e3);
+  }
 }
 
 }  // namespace neutrino::core

@@ -19,6 +19,7 @@
 #include "core/topology.hpp"
 #include "core/ue_state.hpp"
 #include "geo/hash_ring.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/server_pool.hpp"
 
@@ -86,6 +87,13 @@ class Cpf {
   }
   [[nodiscard]] SimTime max_sync_backlog() const {
     return sync_pool_.max_backlog();
+  }
+  /// Instantaneous pool occupancy (System::sample_occupancy).
+  [[nodiscard]] sim::ServerPool::Occupancy request_occupancy() const {
+    return request_pool_.occupancy();
+  }
+  [[nodiscard]] sim::ServerPool::Occupancy sync_occupancy() const {
+    return sync_pool_.occupancy();
   }
 
  private:
@@ -173,6 +181,9 @@ class Cta {
 
   [[nodiscard]] std::size_t log_bytes() const { return log_bytes_; }
   [[nodiscard]] std::size_t log_messages() const { return log_messages_; }
+  [[nodiscard]] sim::ServerPool::Occupancy pool_occupancy() const {
+    return pool_.occupancy();
+  }
 
  private:
   struct LogEntry {
@@ -300,6 +311,8 @@ class Frontend {
   System* system_;
   std::unordered_map<UeId, UeCtx> ues_;
   std::vector<Outage> no_outages_;  // empty result for unknown UEs
+  /// Cached "frontend.completions{proc=..}" registry handles, by type.
+  std::array<obs::Counter*, Metrics::kProcTypes> completion_counters_{};
 };
 
 // ---------------------------------------------------------------------------
@@ -317,6 +330,12 @@ class System {
   [[nodiscard]] const ProtocolConfig& proto() const { return proto_; }
   [[nodiscard]] const CostModel& costs() const { return *costs_; }
   [[nodiscard]] Metrics& metrics() { return *metrics_; }
+
+  /// Procedure tracing is off (and costs one null test per site) until a
+  /// tracer is attached. The tracer must outlive the attachment.
+  void attach_tracer(obs::ProcTracer& tracer) { tracer_ = &tracer; }
+  void detach_tracer() { tracer_ = nullptr; }
+  [[nodiscard]] obs::ProcTracer* tracer() { return tracer_; }
 
   [[nodiscard]] Frontend& frontend() { return *frontend_; }
   [[nodiscard]] Cta& cta(std::uint32_t region) { return *ctas_[region]; }
@@ -367,13 +386,30 @@ class System {
   /// Peak log usage across CTAs, folded into metrics.
   void sample_log_sizes();
 
+  /// Push per-CTA log occupancy and per-CPF pool depth/backlog samples
+  /// into the metrics registry time series ("cta.log_bytes{region=..}",
+  /// "cpf.request_depth{cpf=..}", ...). Call from a bounded sampler
+  /// (obs::PeriodicSampler); nothing is scheduled here.
+  void sample_occupancy();
+
  private:
+  /// Record a propagation hop for `msg` departing now over a link of the
+  /// given latency (no-op unless a tracer is attached).
+  void trace_prop(const Msg& msg, const char* link, std::uint32_t node_id,
+                  SimTime latency) {
+    if (tracer_) {
+      tracer_->hop(msg, obs::HopClass::kPropagation, link, node_id,
+                   loop_->now(), loop_->now() + latency);
+    }
+  }
+
   sim::EventLoop* loop_;
   CorePolicy policy_;
   TopologyConfig topo_;
   ProtocolConfig proto_;
   const CostModel* costs_;
   Metrics* metrics_;
+  obs::ProcTracer* tracer_ = nullptr;
 
   std::vector<std::unique_ptr<Cta>> ctas_;
   std::vector<std::unique_ptr<Cpf>> cpfs_;

@@ -1,0 +1,176 @@
+// A minimal JSON document builder + writer for trace dumps and bench
+// reports. Build-side only: no parser, no third-party dependency, output
+// is deterministic (object keys keep insertion order) so report diffs are
+// meaningful across runs.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace neutrino::obs {
+
+/// One JSON value. Objects preserve insertion order; `operator[]` on an
+/// object creates the key on first use (and turns a null into an object),
+/// so documents read like assignments:
+///
+///   Json doc;
+///   doc["schema"] = "neutrino.bench-report";
+///   doc["rows"].push_back(row);
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Json(std::int64_t i)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), num_(static_cast<double>(i)), int_(i),
+        is_int_(true) {}
+  Json(std::uint64_t u)  // NOLINT(google-explicit-constructor)
+      : Json(static_cast<std::int64_t>(u)) {}
+  Json(std::uint32_t u) : Json(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : type_(Type::kString), str_(s) {}  // NOLINT
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+
+  /// Object access; creates the member on first use.
+  Json& operator[](std::string_view k) {
+    become(Type::kObject);
+    for (auto& [key, v] : members_) {
+      if (key == k) return *v;
+    }
+    members_.emplace_back(std::string{k}, std::make_unique<Json>());
+    return *members_.back().second;
+  }
+
+  /// Array append.
+  Json& push_back(Json v) {
+    become(Type::kArray);
+    elems_.push_back(std::make_unique<Json>(std::move(v)));
+    return *elems_.back();
+  }
+  /// Force array type even while empty (so "[]" is emitted, not "null").
+  void make_array() { become(Type::kArray); }
+  void make_object() { become(Type::kObject); }
+
+  [[nodiscard]] std::size_t size() const {
+    return type_ == Type::kArray ? elems_.size() : members_.size();
+  }
+
+  /// Serialize. `indent` = 2 pretty-prints; 0 emits one line.
+  [[nodiscard]] std::string dump(int indent = 2) const {
+    std::string out;
+    write(out, indent, 0);
+    if (indent > 0) out += '\n';
+    return out;
+  }
+
+  static void escape(std::string& out, std::string_view s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+ private:
+  void become(Type t) {
+    if (type_ == Type::kNull) type_ = t;
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+    const char* nl = indent > 0 ? "\n" : "";
+    switch (type_) {
+      case Type::kNull: out += "null"; break;
+      case Type::kBool: out += bool_ ? "true" : "false"; break;
+      case Type::kNumber: {
+        char buf[48];
+        if (is_int_) {
+          std::snprintf(buf, sizeof buf, "%" PRId64, int_);
+        } else if (!std::isfinite(num_)) {
+          std::snprintf(buf, sizeof buf, "null");  // JSON has no inf/nan
+        } else {
+          std::snprintf(buf, sizeof buf, "%.9g", num_);
+        }
+        out += buf;
+        break;
+      }
+      case Type::kString: escape(out, str_); break;
+      case Type::kArray: {
+        if (elems_.empty()) {
+          out += "[]";
+          break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < elems_.size(); ++i) {
+          if (indent > 0) out += pad;
+          elems_[i]->write(out, indent, depth + 1);
+          if (i + 1 < elems_.size()) out += ',';
+          out += nl;
+        }
+        if (indent > 0) out += close_pad;
+        out += ']';
+        break;
+      }
+      case Type::kObject: {
+        if (members_.empty()) {
+          out += "{}";
+          break;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (indent > 0) out += pad;
+          escape(out, members_[i].first);
+          out += indent > 0 ? ": " : ":";
+          members_[i].second->write(out, indent, depth + 1);
+          if (i + 1 < members_.size()) out += ',';
+          out += nl;
+        }
+        if (indent > 0) out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<std::unique_ptr<Json>> elems_;
+  std::vector<std::pair<std::string, std::unique_ptr<Json>>> members_;
+};
+
+}  // namespace neutrino::obs

@@ -1,0 +1,185 @@
+// Named, labeled metric instruments backing core::Metrics and the benches.
+//
+// The registry owns every instrument; handles returned from counter() /
+// gauge() / histogram() / time_series() are stable for the registry's
+// lifetime (std::map nodes never move), so hot paths look a metric up once
+// and keep the reference. Keys are `name` plus a sorted label set — the
+// same (name, labels) pair always yields the same instrument.
+//
+// Naming convention (see DESIGN.md §10): dotted lowercase path whose first
+// segment is the owning component — "core.procedures_completed",
+// "cta.log_bytes", "cpf.request_backlog_us", "frontend.completions".
+// Units are spelled in the name suffix when not obvious (_ms, _us, _bytes).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+
+namespace neutrino::obs {
+
+/// Label set attached to an instrument, e.g. {{"proc","attach"},{"region","0"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event count. Implicitly converts to its value so legacy
+/// `std::uint64_t` counter fields can become `Counter&` without touching
+/// call sites (`++m.replays`, `m.replays += n`, `EXPECT_EQ(m.replays, 2u)`).
+class Counter {
+ public:
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  Counter operator++(int) {
+    Counter old = *this;
+    ++value_;
+    return old;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    value_ += n;
+    return *this;
+  }
+  void reset() { value_ = 0; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  operator std::uint64_t() const { return value_; }  // NOLINT(google-explicit-constructor)
+
+  friend std::ostream& operator<<(std::ostream& os, const Counter& c) {
+    return os << c.value_;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar, with a convenience high-watermark update.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  /// Keep the maximum of the current and the offered value.
+  void high_watermark(double v) { value_ = value_ > v ? value_ : v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Timestamped samples (queue depth, log occupancy) pushed by a sampler.
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime at;
+    double value = 0.0;
+  };
+
+  void push(SimTime at, double value) { points_.push_back({at, value}); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] double max() const {
+    double m = 0.0;
+    for (const Point& p : points_) m = p.value > m ? p.value : m;
+    return m;
+  }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Owns all instruments. Lookup creates on first use; instruments live as
+/// long as the registry (moving the registry moves map ownership, not the
+/// nodes, so outstanding references stay valid — core::Metrics relies on
+/// this when an ExperimentResult is moved out of run_experiment).
+class Registry {
+ public:
+  Counter& counter(std::string_view name, const Labels& labels = {}) {
+    return counters_[key(name, labels)].instrument;
+  }
+  Gauge& gauge(std::string_view name, const Labels& labels = {}) {
+    return gauges_[key(name, labels)].instrument;
+  }
+  LatencyRecorder& histogram(std::string_view name, const Labels& labels = {}) {
+    return histograms_[key(name, labels)].instrument;
+  }
+  TimeSeries& time_series(std::string_view name, const Labels& labels = {}) {
+    return series_[key(name, labels)].instrument;
+  }
+
+  /// Lookup without creation; nullptr if the instrument was never touched.
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            const Labels& labels = {}) const {
+    return find(counters_, name, labels);
+  }
+  [[nodiscard]] const LatencyRecorder* find_histogram(
+      std::string_view name, const Labels& labels = {}) const {
+    return find(histograms_, name, labels);
+  }
+  [[nodiscard]] const TimeSeries* find_time_series(
+      std::string_view name, const Labels& labels = {}) const {
+    return find(series_, name, labels);
+  }
+
+  /// Visitors iterate in key order (name, then labels) — deterministic
+  /// export. `f(key, instrument)` where key is "name{k=v,...}" or "name".
+  template <class F>
+  void for_each_counter(F&& f) const {
+    for (const auto& [k, cell] : counters_) f(k, cell.instrument);
+  }
+  template <class F>
+  void for_each_gauge(F&& f) const {
+    for (const auto& [k, cell] : gauges_) f(k, cell.instrument);
+  }
+  template <class F>
+  void for_each_histogram(F&& f) const {
+    for (const auto& [k, cell] : histograms_) f(k, cell.instrument);
+  }
+  template <class F>
+  void for_each_time_series(F&& f) const {
+    for (const auto& [k, cell] : series_) f(k, cell.instrument);
+  }
+
+  /// Canonical flat key: name, then "{k=v,...}" with labels sorted by key.
+  static std::string key(std::string_view name, const Labels& labels) {
+    std::string k{name};
+    if (!labels.empty()) {
+      Labels sorted = labels;
+      std::sort(sorted.begin(), sorted.end());
+      k += '{';
+      for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (i) k += ',';
+        k += sorted[i].first;
+        k += '=';
+        k += sorted[i].second;
+      }
+      k += '}';
+    }
+    return k;
+  }
+
+ private:
+  template <class T>
+  struct Cell {
+    T instrument;
+  };
+
+  template <class T>
+  static const T* find(const std::map<std::string, Cell<T>>& m,
+                       std::string_view name, const Labels& labels) {
+    const auto it = m.find(key(name, labels));
+    return it == m.end() ? nullptr : &it->second.instrument;
+  }
+
+  std::map<std::string, Cell<Counter>> counters_;
+  std::map<std::string, Cell<Gauge>> gauges_;
+  std::map<std::string, Cell<LatencyRecorder>> histograms_;
+  std::map<std::string, Cell<TimeSeries>> series_;
+};
+
+}  // namespace neutrino::obs

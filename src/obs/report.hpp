@@ -1,0 +1,88 @@
+// JSON fragments shared by the structured exporter: recorder summaries,
+// registry dumps, and the versioned bench-report envelope (schema
+// documented in DESIGN.md §10).
+#pragma once
+
+#include <string_view>
+
+#include "common/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace neutrino::obs {
+
+inline constexpr std::string_view kBenchReportSchema = "neutrino.bench-report";
+inline constexpr int kBenchReportVersion = 1;
+
+/// count/mean/p50/p90/p99/p999/max of a recorder, as a JSON object.
+inline Json summary_json(const LatencyRecorder& r) {
+  const LatencyRecorder::Summary s = r.summary();
+  Json j;
+  j["count"] = s.count;
+  j["mean"] = s.mean;
+  j["p50"] = s.p50;
+  j["p90"] = s.p90;
+  j["p99"] = s.p99;
+  j["p999"] = s.p999;
+  j["max"] = s.max;
+  return j;
+}
+
+/// All counters as a flat {key: value} object.
+inline Json counters_json(const Registry& reg) {
+  Json j;
+  j.make_object();
+  reg.for_each_counter([&j](const std::string& key, const Counter& c) {
+    j[key] = c.value();
+  });
+  return j;
+}
+
+/// All gauges as a flat {key: value} object.
+inline Json gauges_json(const Registry& reg) {
+  Json j;
+  j.make_object();
+  reg.for_each_gauge(
+      [&j](const std::string& key, const Gauge& g) { j[key] = g.value(); });
+  return j;
+}
+
+/// All histograms as {key: summary} (includes the PCT decomposition
+/// "core.pct_decomp_ms{component=...,proc=...}" entries when a
+/// decomposing tracer ran).
+inline Json histograms_json(const Registry& reg) {
+  Json j;
+  j.make_object();
+  reg.for_each_histogram(
+      [&j](const std::string& key, const LatencyRecorder& h) {
+        j[key] = summary_json(h);
+      });
+  return j;
+}
+
+/// Time series as {key: {max, n, points: [[t_ms, v], ...]}}, downsampled
+/// to at most `max_points` evenly spaced samples per series.
+inline Json time_series_json(const Registry& reg,
+                             std::size_t max_points = 256) {
+  Json j;
+  j.make_object();
+  reg.for_each_time_series([&](const std::string& key, const TimeSeries& ts) {
+    Json& entry = j[key];
+    entry["n"] = ts.points().size();
+    entry["max"] = ts.max();
+    Json& pts = entry["points"];
+    pts.make_array();
+    const std::size_t n = ts.points().size();
+    const std::size_t stride = n > max_points ? (n + max_points - 1) / max_points : 1;
+    for (std::size_t i = 0; i < n; i += stride) {
+      const TimeSeries::Point& p = ts.points()[i];
+      Json pair;
+      pair.push_back(p.at.ms());
+      pair.push_back(p.value);
+      pts.push_back(std::move(pair));
+    }
+  });
+  return j;
+}
+
+}  // namespace neutrino::obs

@@ -1,0 +1,32 @@
+// Bounded periodic sampling against the event loop.
+//
+// The loop's run() drains the queue to empty, so an unbounded
+// self-rescheduling sampler would keep a simulation alive forever. This
+// one schedules a finite chain: it stops after `until`, and the caller
+// decides what each tick observes (queue depths, log occupancy, ...).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/clock.hpp"
+#include "sim/event_loop.hpp"
+
+namespace neutrino::obs {
+
+class PeriodicSampler {
+ public:
+  /// Calls `fn()` every `interval` from `interval` until `until`
+  /// (inclusive). All ticks are scheduled up front; the object may be
+  /// destroyed after construction ends — the closure owns the callback.
+  static void schedule(sim::EventLoop& loop, SimTime interval, SimTime until,
+                       std::function<void()> fn) {
+    const auto shared = std::make_shared<std::function<void()>>(std::move(fn));
+    for (SimTime at = loop.now() + interval; at <= until; at = at + interval) {
+      loop.schedule_at(at, [shared] { (*shared)(); });
+    }
+  }
+};
+
+}  // namespace neutrino::obs

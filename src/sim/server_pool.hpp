@@ -31,9 +31,12 @@ class ServerPool {
     const SimTime finish = start + service;
     *it = finish;
     const std::uint64_t my_generation = generation_;
+    ++inflight_;
     loop_->schedule_at(finish, [this, my_generation, cb = std::move(done)] {
       // Jobs in flight when the node crashed are discarded.
-      if (my_generation == generation_) cb();
+      if (my_generation != generation_) return;
+      --inflight_;
+      cb();
     });
     busy_accum_ += service;
     ++jobs_;
@@ -48,9 +51,20 @@ class ServerPool {
     return std::max(SimTime{}, earliest - loop_->now());
   }
 
+  /// Jobs submitted but not yet completed (queued + in service).
+  [[nodiscard]] std::size_t queue_depth() const { return inflight_; }
+
+  /// Snapshot for occupancy samplers (obs time series).
+  struct Occupancy {
+    std::size_t depth = 0;  // jobs queued or in service
+    SimTime backlog;        // delay a new arrival would see
+  };
+  [[nodiscard]] Occupancy occupancy() const { return {inflight_, backlog()}; }
+
   /// Drop all queued work and invalidate in-flight completions (crash).
   void reset() {
     ++generation_;
+    inflight_ = 0;
     std::fill(core_free_.begin(), core_free_.end(), SimTime{});
   }
 
@@ -65,6 +79,7 @@ class ServerPool {
   EventLoop* loop_;
   std::vector<SimTime> core_free_;
   std::uint64_t generation_ = 0;
+  std::size_t inflight_ = 0;
   std::uint64_t jobs_ = 0;
   SimTime busy_accum_;
   SimTime max_backlog_;
