@@ -17,6 +17,7 @@
 #include "core/cost_model.hpp"
 #include "core/system.hpp"
 #include "obs/report.hpp"
+#include "obs/throughput.hpp"
 #include "trace/workload.hpp"
 
 namespace neutrino::bench {
@@ -41,6 +42,10 @@ inline core::LatencyConfig testbed_latencies() {
 struct ExperimentResult {
   core::Metrics metrics;
   double sim_seconds = 0;
+  /// Events the loop dispatched and the wall-clock it took: the
+  /// events/sec throughput figure for scale benches.
+  std::uint64_t events_executed = 0;
+  double wall_seconds = 0;
 };
 
 struct ExperimentConfig {
@@ -57,6 +62,9 @@ struct ExperimentConfig {
   /// tile the PCT exactly; "total" is recorded alongside). Off by
   /// default — tracing then costs one null test per hop site.
   bool trace_decomposition = false;
+  /// Constant-memory PCT accounting (streaming mean/max, no retained
+  /// samples) for storm-scale runs; percentile queries are then invalid.
+  bool streaming_pct = false;
 };
 
 /// Build a system, replay a trace, run to completion, return the metrics.
@@ -68,6 +76,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                 SetupFn&& extra_setup, PostFn&& post) {
   sim::EventLoop loop;
   core::Metrics metrics;
+  if (cfg.streaming_pct) metrics.use_streaming_pct();
   core::System system(loop, cfg.policy, cfg.topo, cfg.proto,
                       measured_costs(), metrics);
   std::unique_ptr<obs::ProcTracer> tracer;
@@ -89,9 +98,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   trace::replay(system, t);
   SimTime horizon = cfg.drain;
   if (!t.empty()) horizon += t.back().at;
+  obs::WallTimer wall;
   loop.run_until(horizon);
+  const double wall_seconds = wall.seconds();
   post(system);
-  return {std::move(metrics), horizon.sec()};
+  return {std::move(metrics), horizon.sec(), loop.executed(), wall_seconds};
 }
 
 template <typename SetupFn>

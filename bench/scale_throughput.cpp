@@ -1,0 +1,128 @@
+// Scale: million-UE attach + service-request storm, simulator throughput.
+//
+// Not a figure from the paper — this is the repo's perf gate. The ROADMAP
+// north star ("millions of users, as fast as the hardware allows") makes
+// simulator throughput the binding constraint on every storm experiment;
+// this bench pins it as events/sec, procedures/sec and peak RSS so later
+// PRs have a trajectory to beat (BENCH_scale.json baseline).
+//
+// Workload: every UE attaches during a bursty storm window, then issues
+// one service request in a second wave — the §6.1 bursty IoT pattern at
+// population scale. PCT accounting runs in constant-memory streaming mode
+// (no per-procedure sample retention). The run fails (non-zero exit) if
+// any procedure fails to complete or a Read-your-Writes violation occurs.
+#include <cinttypes>
+
+#include "bench_util.hpp"
+#include "obs/throughput.hpp"
+
+using namespace neutrino;
+
+namespace {
+
+/// Streaming recorders have no order statistics: emit count/mean/max only
+/// (validate_report.py's percentile check keys off "p50", absent here).
+obs::Json streaming_summary(const LatencyRecorder& r) {
+  obs::Json j;
+  j["count"] = r.count();
+  j["mean"] = r.mean();
+  j["max"] = r.empty() ? 0.0 : r.max();
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Report report(argc, argv, "scale",
+                       "million-UE storm: simulator throughput",
+                       "simulation-core perf gate (events/sec baseline)");
+  const std::uint64_t n_ues = report.smoke() ? 100'000 : 1'000'000;
+  // ~17 KPPS offered load: below the EPC saturation knee (Fig. 8), so the
+  // measurement is simulator throughput, not modeled queueing collapse.
+  const SimTime attach_window =
+      SimTime::seconds(static_cast<std::int64_t>(n_ues / 16'667 + 1));
+  const SimTime wave_gap = SimTime::seconds(5);
+
+  report.config()["ues"] = n_ues;
+  report.config()["attach_window_s"] = attach_window.sec();
+  report.config()["wave_gap_s"] = wave_gap.sec();
+
+  // Build the two-wave trace: attach storm, then a service-request storm.
+  trace::BurstyWorkload attaches(n_ues, attach_window, /*seed=*/42);
+  std::vector<trace::TraceRecord> t = attaches.generate();
+  t.reserve(t.size() * 2);
+  {
+    Rng rng(1337);
+    const SimTime base = attach_window + wave_gap;
+    const std::size_t n_attach = t.size();
+    for (std::uint64_t ue = 0; ue < n_ues; ++ue) {
+      trace::TraceRecord rec;
+      rec.at = base + SimTime::nanoseconds(static_cast<std::int64_t>(
+                          rng.next_double() *
+                          static_cast<double>(attach_window.ns())));
+      rec.ue = UeId(ue);
+      rec.type = core::ProcedureType::kServiceRequest;
+      t.push_back(rec);
+    }
+    std::sort(t.begin() + static_cast<std::ptrdiff_t>(n_attach), t.end(),
+              [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+                return a.at < b.at;
+              });
+  }
+
+  bool ok = true;
+  for (const auto& policy :
+       {core::existing_epc_policy(), core::neutrino_policy()}) {
+    bench::ExperimentConfig cfg;
+    cfg.policy = policy;
+    cfg.topo = core::TopologyConfig{};  // the paper's 1-region testbed
+    cfg.proto = core::ProtocolConfig{};
+    cfg.streaming_pct = true;  // constant-memory PCT at storm scale
+    auto result = bench::run_experiment(cfg, t);  // pct_for is non-const
+
+    const std::uint64_t started = result.metrics.procedures_started;
+    const std::uint64_t completed = result.metrics.procedures_completed;
+    const std::uint64_t ryw = result.metrics.ryw_violations;
+    const double events_per_sec =
+        result.wall_seconds > 0
+            ? static_cast<double>(result.events_executed) / result.wall_seconds
+            : 0.0;
+    const double procs_per_sec =
+        result.wall_seconds > 0
+            ? static_cast<double>(completed) / result.wall_seconds
+            : 0.0;
+    const std::size_t rss = obs::peak_rss_bytes();
+
+    std::printf("scale\t%s\tues=%" PRIu64 "\tevents=%" PRIu64
+                "\twall_s=%.3f\tevents_per_sec=%.0f\tprocs_per_sec=%.0f"
+                "\tpeak_rss_mb=%.1f\tcompleted=%" PRIu64 "/%" PRIu64
+                "\tryw=%" PRIu64 "\n",
+                std::string(policy.name).c_str(), n_ues,
+                result.events_executed, result.wall_seconds, events_per_sec,
+                procs_per_sec, static_cast<double>(rss) / (1024.0 * 1024.0),
+                completed, started, ryw);
+
+    obs::Json& row = report.new_row(policy.name);
+    row["ues"] = n_ues;
+    row["events_executed"] = result.events_executed;
+    row["wall_seconds"] = result.wall_seconds;
+    row["events_per_sec"] = events_per_sec;
+    row["procedures_per_sec"] = procs_per_sec;
+    row["peak_rss_bytes"] = rss;
+    row["attach_ms"] = streaming_summary(result.metrics.pct_for(
+        core::ProcedureType::kAttach));
+    row["service_request_ms"] = streaming_summary(result.metrics.pct_for(
+        core::ProcedureType::kServiceRequest));
+    bench::Report::attach_result(row, result);
+
+    if (completed != started || ryw != 0) {
+      std::fprintf(stderr,
+                   "scale_throughput: FAILED for %s: completed %" PRIu64
+                   " of %" PRIu64 " procedures, ryw_violations=%" PRIu64 "\n",
+                   std::string(policy.name).c_str(), completed, started, ryw);
+      ok = false;
+    }
+  }
+  report.finish();
+  return ok ? 0 : 1;
+}

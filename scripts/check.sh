@@ -40,4 +40,15 @@ python3 scripts/validate_report.py "${REPORTS[@]}"
 echo "== trace demo"
 "$BUILD/examples/trace_explore" >/dev/null
 
+# Throughput gate: the 100k-UE storm must complete every procedure with
+# zero RYW violations (scale_throughput exits non-zero otherwise), at
+# release optimization levels — sanitized builds measure the sanitizer.
+echo "== release build + scale smoke (build-release)"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
+cmake --build build-release -j --target scale_throughput sim_core_gbench
+out=build-release/bench/scale_throughput.smoke-report.json
+build-release/bench/scale_throughput --smoke --report="$out"
+python3 scripts/validate_report.py "$out"
+
 echo "check.sh: all green"

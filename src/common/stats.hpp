@@ -23,6 +23,23 @@ class OnlineStats {
     max_ = std::max(max_, x);
   }
 
+  /// Fold another accumulator in (Chan et al. parallel combine).
+  void merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] double mean() const { return mean_; }
   [[nodiscard]] double variance() const {
@@ -46,24 +63,47 @@ class OnlineStats {
 /// exact collection is affordable and avoids sketch error in the plots.
 class LatencyRecorder {
  public:
+  /// Constant-memory mode for storm-scale benches: only count/mean/min/max
+  /// are tracked (Welford), nothing is retained per sample. Percentile
+  /// queries are invalid in this mode — summary() reports zeros for them.
+  /// Must be selected before the first add().
+  void use_streaming_only() {
+    assert(samples_.empty());
+    streaming_only_ = true;
+  }
+  [[nodiscard]] bool streaming_only() const { return streaming_only_; }
+
   void add(double value) {
+    if (streaming_only_) {
+      stream_.add(value);
+      return;
+    }
     samples_.push_back(value);
     sorted_ = false;
   }
 
   void merge(const LatencyRecorder& other) {
+    if (streaming_only_ || other.streaming_only_) {
+      assert(streaming_only_ && other.streaming_only_);
+      stream_.merge(other.stream_);
+      return;
+    }
     samples_.insert(samples_.end(), other.samples_.begin(),
                     other.samples_.end());
     sorted_ = false;
   }
 
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
-  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t count() const {
+    return streaming_only_ ? static_cast<std::size_t>(stream_.count())
+                           : samples_.size();
+  }
+  [[nodiscard]] bool empty() const { return count() == 0; }
 
   /// q in [0,1]; linearly interpolated between the two nearest order
   /// statistics (numpy's default "linear" method), so small samples give
   /// smooth percentile curves instead of step functions.
   [[nodiscard]] double percentile(double q) const {
+    assert(!streaming_only_);
     assert(!samples_.empty());
     sort_if_needed();
     const double rank = q * static_cast<double>(samples_.size() - 1);
@@ -78,14 +118,17 @@ class LatencyRecorder {
   [[nodiscard]] double p75() const { return percentile(0.75); }
   [[nodiscard]] double p99() const { return percentile(0.99); }
   [[nodiscard]] double min() const {
+    if (streaming_only_) return stream_.min();
     sort_if_needed();
     return samples_.front();
   }
   [[nodiscard]] double max() const {
+    if (streaming_only_) return stream_.max();
     sort_if_needed();
     return samples_.back();
   }
   [[nodiscard]] double mean() const {
+    if (streaming_only_) return stream_.mean();
     double sum = 0.0;
     for (double v : samples_) sum += v;
     return samples_.empty() ? 0.0 : sum / static_cast<double>(samples_.size());
@@ -103,7 +146,12 @@ class LatencyRecorder {
   };
 
   [[nodiscard]] Summary summary() const {
-    if (samples_.empty()) return {};
+    if (empty()) return {};
+    if (streaming_only_) {
+      // No order statistics in constant-memory mode; exporters writing a
+      // streaming summary should emit only count/mean/max.
+      return {count(), mean(), 0.0, 0.0, 0.0, 0.0, max()};
+    }
     return {count(),           mean(),           percentile(0.5),
             percentile(0.9),   percentile(0.99), percentile(0.999),
             max()};
@@ -119,6 +167,8 @@ class LatencyRecorder {
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  bool streaming_only_ = false;
+  OnlineStats stream_;
 };
 
 }  // namespace neutrino

@@ -46,23 +46,28 @@ void Cpf::deliver(Msg msg) {
     case MsgKind::kStateCheckpoint:
     case MsgKind::kOutdatedNotify:
       trace_pool(sync_pool_);
-      sync_pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
-        handle_replication(msg);
-      });
+      sync_pool_.submit(
+          cost, [this, h = system_->msg_pool().acquire(std::move(msg))]() mutable {
+            Msg m = h.take();
+            handle_replication(m);
+          });
       return;
     case MsgKind::kStateFetch:
       // A fetch serves a live procedure (FastHandover/TAU arrival) — it
       // belongs on the request core, not behind bulk checkpoint traffic.
       trace_pool(request_pool_);
-      request_pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
-        handle_replication(msg);
-      });
+      request_pool_.submit(
+          cost, [this, h = system_->msg_pool().acquire(std::move(msg))]() mutable {
+            Msg m = h.take();
+            handle_replication(m);
+          });
       return;
     default:
       trace_pool(request_pool_);
-      request_pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
-        handle(msg);
-      });
+      request_pool_.submit(
+          cost, [this, h = system_->msg_pool().acquire(std::move(msg))]() mutable {
+            handle(h.take());
+          });
       return;
   }
 }
@@ -329,8 +334,9 @@ void Cpf::handle_handover_source(Msg& msg) {
         }
         request_pool_.submit(
             serialize,
-            [this, target, request = std::move(request)]() mutable {
-              system_->cpf_to_cpf(id_, target, std::move(request));
+            [this, target,
+             h = system_->msg_pool().acquire(std::move(request))]() mutable {
+              system_->cpf_to_cpf(id_, target, h.take());
             });
       } else {
         // FastHandover (§4.3): the state already lives on a level-2

@@ -83,9 +83,10 @@ void Cta::deliver_uplink(Msg msg) {
     tr->hop(msg, obs::HopClass::kService, "cta", region_, now + queued,
             now + queued + cost);
   }
-  pool_.submit(cost, [this, msg = std::move(msg)]() mutable {
-    forward_uplink(std::move(msg));
-  });
+  pool_.submit(cost,
+               [this, h = system_->msg_pool().acquire(std::move(msg))]() mutable {
+                 forward_uplink(h.take());
+               });
 }
 
 void Cta::forward_uplink(Msg msg) {
@@ -122,6 +123,9 @@ void Cta::forward_uplink(Msg msg) {
       rec.last_seq_logged = std::max(rec.last_seq_logged, msg.proc_seq);
       ProcedureLog& plog = rec.procedures[msg.proc_seq];
       if (plog.entries.empty()) {
+        // One procedure logs a handful of messages (attach: 4); reserve
+        // once instead of growing the vector message-by-message.
+        plog.entries.reserve(8);
         plog.first_logged = system_->loop().now();
         arm_scan();
         // §4.2.4(4): a second procedure starting while the previous one
@@ -159,7 +163,8 @@ void Cta::deliver_downlink(Msg msg) {
             now + queued + cost);
   }
   pool_.submit(system_->proto().cta_forward_cost,
-               [this, msg = std::move(msg)]() mutable {
+               [this, h = system_->msg_pool().acquire(std::move(msg))]() mutable {
+    Msg msg = h.take();
     if (msg.kind == MsgKind::kCheckpointAck) {
       handle_ack(msg);
       return;

@@ -51,6 +51,14 @@ struct Metrics {
     return pct_under_failure[static_cast<std::size_t>(t)];
   }
 
+  /// Constant-memory PCT accounting for storm-scale benches: per-procedure
+  /// latencies feed streaming mean/max accumulators instead of retained
+  /// sample vectors (call before the experiment starts).
+  void use_streaming_pct() {
+    for (auto& r : pct) r.use_streaming_only();
+    for (auto& r : pct_under_failure) r.use_streaming_only();
+  }
+
   // Protocol counters (registry-backed; see file comment).
   obs::Counter& procedures_started = registry.counter("core.procedures_started");
   obs::Counter& procedures_completed =

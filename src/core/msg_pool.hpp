@@ -1,0 +1,121 @@
+// Free-list recycler for in-flight Msg objects.
+//
+// Every transport hop used to copy a ~136-byte Msg (two shared_ptr
+// refcount bumps included) into a lambda capture, blowing past any
+// small-buffer optimization and forcing a heap allocation per scheduled
+// delivery. The pool hands out stable Msg* slots from 256-element blocks;
+// the event captures a 16-byte Handle instead, which fits the event
+// loop's inline buffer together with the destination pointer.
+//
+// Lifetime contract: delivery callbacks must call `take()` FIRST, before
+// any branch (dead-node drops included). A Handle destroyed without
+// take() — e.g. an event still pending when the loop outlives the System
+// in bench scaffolding — abandons its slot rather than touching the pool,
+// which may already be gone. Abandoned slots are bounded by the number of
+// pending deliveries at teardown; the block storage itself is always
+// reclaimed by ~MsgPool.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/msg.hpp"
+
+namespace neutrino::core {
+
+class MsgPool {
+ public:
+  /// Move-only ticket for one pooled Msg. 16 bytes, nothrow-movable, so
+  /// transport lambdas capturing {node*, Handle} stay inline-schedulable.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          msg_(std::exchange(other.msg_, nullptr)) {}
+    Handle& operator=(Handle&& other) noexcept {
+      pool_ = std::exchange(other.pool_, nullptr);
+      msg_ = std::exchange(other.msg_, nullptr);
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    // Intentionally does not release the slot: the pool may already be
+    // destroyed when a pending event dies with the loop (see file header).
+    ~Handle() = default;
+
+    [[nodiscard]] explicit operator bool() const { return msg_ != nullptr; }
+    Msg& operator*() const { return *msg_; }
+    Msg* operator->() const { return msg_; }
+
+    /// Move the message out and return the slot to the free list. Only
+    /// legal while the owning pool is alive (i.e. during event dispatch).
+    Msg take() {
+      assert(msg_ != nullptr);
+      Msg out = std::move(*msg_);
+      pool_->release(msg_);
+      msg_ = nullptr;
+      pool_ = nullptr;
+      return out;
+    }
+
+   private:
+    friend class MsgPool;
+    Handle(MsgPool* pool, Msg* msg) : pool_(pool), msg_(msg) {}
+    MsgPool* pool_ = nullptr;
+    Msg* msg_ = nullptr;
+  };
+
+  MsgPool() = default;
+  MsgPool(const MsgPool&) = delete;
+  MsgPool& operator=(const MsgPool&) = delete;
+
+  /// Park a message in a pooled slot for the duration of one hop.
+  Handle acquire(Msg msg) {
+    if (free_.empty()) {
+      grow();
+    } else {
+      ++reused_;
+    }
+    Msg* slot = free_.back();
+    free_.pop_back();
+    *slot = std::move(msg);
+    ++acquired_;
+    return Handle{this, slot};
+  }
+
+  [[nodiscard]] std::uint64_t acquired() const { return acquired_; }
+  [[nodiscard]] std::uint64_t reused() const { return reused_; }
+  [[nodiscard]] std::size_t capacity() const {
+    return blocks_.size() * kBlockSize;
+  }
+  /// Slots currently held by live Handles (plus any abandoned ones).
+  [[nodiscard]] std::size_t outstanding() const {
+    return capacity() - free_.size();
+  }
+
+ private:
+  static constexpr std::size_t kBlockSize = 256;
+
+  void grow() {
+    blocks_.push_back(std::make_unique<Msg[]>(kBlockSize));
+    Msg* base = blocks_.back().get();
+    free_.reserve(free_.size() + kBlockSize);
+    for (std::size_t i = kBlockSize; i > 0; --i) free_.push_back(base + i - 1);
+  }
+
+  void release(Msg* slot) {
+    *slot = Msg{};  // drop shared_ptr payloads now, not at reuse time
+    free_.push_back(slot);
+  }
+
+  std::vector<std::unique_ptr<Msg[]>> blocks_;
+  std::vector<Msg*> free_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+}  // namespace neutrino::core

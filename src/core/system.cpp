@@ -22,7 +22,9 @@ void Upf::deliver(Msg msg) {
             now + queued + cost);
   }
   pool_.submit(cost,
-               [this, msg = std::move(msg)]() mutable { handle(msg); });
+               [this, h = system_->msg_pool().acquire(std::move(msg))]() mutable {
+                 handle(h.take());
+               });
 }
 
 void Upf::handle(Msg msg) {
@@ -103,10 +105,15 @@ std::vector<CpfId> System::backups_for(UeId ue, std::uint32_t region) const {
 
 void System::ue_to_cta(std::uint32_t region, Msg msg) {
   trace_prop(msg, "ue->cta", region, topo_.latency.ue_to_cta);
+  // All transports park the message in the pool so the event captures a
+  // handle (inline-schedulable) instead of a full Msg. take() runs first,
+  // unconditionally: it must free the slot even when the target is dead.
   loop_->schedule_after(topo_.latency.ue_to_cta,
-                        [this, region, msg = std::move(msg)]() mutable {
+                        [this, region,
+                         h = msg_pool_.acquire(std::move(msg))]() mutable {
+                          Msg m = h.take();
                           if (ctas_[region]->alive()) {
-                            ctas_[region]->deliver_uplink(std::move(msg));
+                            ctas_[region]->deliver_uplink(std::move(m));
                           }
                         });
 }
@@ -114,8 +121,8 @@ void System::ue_to_cta(std::uint32_t region, Msg msg) {
 void System::cta_to_ue(Msg msg) {
   trace_prop(msg, "cta->ue", msg.region, topo_.latency.ue_to_cta);
   loop_->schedule_after(topo_.latency.ue_to_cta,
-                        [this, msg = std::move(msg)]() mutable {
-                          frontend_->deliver(std::move(msg));
+                        [this, h = msg_pool_.acquire(std::move(msg))]() mutable {
+                          frontend_->deliver(h.take());
                         });
 }
 
@@ -125,11 +132,13 @@ void System::cta_to_cpf(std::uint32_t cta_region, CpfId cpf, Msg msg) {
                               ? topo_.latency.cta_to_cpf
                               : topo_.cpf_link(cta_region, cpf_region);
   trace_prop(msg, "cta->cpf", cpf.value(), latency);
-  loop_->schedule_after(latency, [this, cpf, msg = std::move(msg)]() mutable {
-    if (cpfs_[cpf.value()]->alive()) {
-      cpfs_[cpf.value()]->deliver(std::move(msg));
-    }
-  });
+  loop_->schedule_after(
+      latency, [this, cpf, h = msg_pool_.acquire(std::move(msg))]() mutable {
+        Msg m = h.take();
+        if (cpfs_[cpf.value()]->alive()) {
+          cpfs_[cpf.value()]->deliver(std::move(m));
+        }
+      });
 }
 
 void System::cpf_to_cta(CpfId from, std::uint32_t cta_region, Msg msg) {
@@ -139,9 +148,11 @@ void System::cpf_to_cta(CpfId from, std::uint32_t cta_region, Msg msg) {
                               : topo_.cpf_link(from_region, cta_region);
   trace_prop(msg, "cpf->cta", cta_region, latency);
   loop_->schedule_after(latency,
-                        [this, cta_region, msg = std::move(msg)]() mutable {
+                        [this, cta_region,
+                         h = msg_pool_.acquire(std::move(msg))]() mutable {
+                          Msg m = h.take();
                           if (ctas_[cta_region]->alive()) {
-                            ctas_[cta_region]->deliver_downlink(std::move(msg));
+                            ctas_[cta_region]->deliver_downlink(std::move(m));
                           }
                         });
 }
@@ -150,11 +161,13 @@ void System::cpf_to_cpf(CpfId from, CpfId to, Msg msg) {
   const SimTime latency =
       topo_.cpf_link(topo_.region_of_cpf(from), topo_.region_of_cpf(to));
   trace_prop(msg, "cpf->cpf", to.value(), latency);
-  loop_->schedule_after(latency, [this, to, msg = std::move(msg)]() mutable {
-    if (cpfs_[to.value()]->alive()) {
-      cpfs_[to.value()]->deliver(std::move(msg));
-    }
-  });
+  loop_->schedule_after(
+      latency, [this, to, h = msg_pool_.acquire(std::move(msg))]() mutable {
+        Msg m = h.take();
+        if (cpfs_[to.value()]->alive()) {
+          cpfs_[to.value()]->deliver(std::move(m));
+        }
+      });
 }
 
 void System::cpf_to_upf(CpfId from, std::uint32_t upf_region, Msg msg) {
@@ -164,8 +177,9 @@ void System::cpf_to_upf(CpfId from, std::uint32_t upf_region, Msg msg) {
                               : topo_.cpf_link(from_region, upf_region);
   trace_prop(msg, "cpf->upf", upf_region, latency);
   loop_->schedule_after(latency,
-                        [this, upf_region, msg = std::move(msg)]() mutable {
-                          upfs_[upf_region]->deliver(std::move(msg));
+                        [this, upf_region,
+                         h = msg_pool_.acquire(std::move(msg))]() mutable {
+                          upfs_[upf_region]->deliver(h.take());
                         });
 }
 
@@ -175,11 +189,13 @@ void System::upf_to_cpf(std::uint32_t upf_region, CpfId cpf, Msg msg) {
                               ? topo_.latency.cpf_to_upf
                               : topo_.cpf_link(upf_region, cpf_region);
   trace_prop(msg, "upf->cpf", cpf.value(), latency);
-  loop_->schedule_after(latency, [this, cpf, msg = std::move(msg)]() mutable {
-    if (cpfs_[cpf.value()]->alive()) {
-      cpfs_[cpf.value()]->deliver(std::move(msg));
-    }
-  });
+  loop_->schedule_after(
+      latency, [this, cpf, h = msg_pool_.acquire(std::move(msg))]() mutable {
+        Msg m = h.take();
+        if (cpfs_[cpf.value()]->alive()) {
+          cpfs_[cpf.value()]->deliver(std::move(m));
+        }
+      });
 }
 
 void System::trigger_downlink(UeId ue) {
@@ -190,9 +206,11 @@ void System::trigger_downlink(UeId ue) {
 void System::upf_to_cta(std::uint32_t upf_region, Msg msg) {
   trace_prop(msg, "upf->cta", upf_region, topo_.latency.cpf_to_upf);
   loop_->schedule_after(topo_.latency.cpf_to_upf,
-                        [this, upf_region, msg = std::move(msg)]() mutable {
+                        [this, upf_region,
+                         h = msg_pool_.acquire(std::move(msg))]() mutable {
+                          Msg m = h.take();
                           if (ctas_[upf_region]->alive()) {
-                            ctas_[upf_region]->deliver_uplink(std::move(msg));
+                            ctas_[upf_region]->deliver_uplink(std::move(m));
                           }
                         });
 }

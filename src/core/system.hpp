@@ -3,18 +3,18 @@
 // (core/policy.hpp) so Neutrino and every baseline share this code.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash_map.hpp"
 #include "common/hashing.hpp"
 #include "core/cost_model.hpp"
 #include "core/metrics.hpp"
 #include "core/msg.hpp"
+#include "core/msg_pool.hpp"
 #include "core/policy.hpp"
 #include "core/topology.hpp"
 #include "core/ue_state.hpp"
@@ -55,7 +55,7 @@ class Upf {
   UpfId id_;
   std::uint32_t region_;
   sim::ServerPool pool_;
-  std::unordered_map<UeId, Teid> sessions_;
+  FlatHashMap<UeId, Teid> sessions_;
   std::uint32_t next_teid_ = 0x1000;
 };
 
@@ -144,10 +144,10 @@ class Cpf {
   std::uint32_t epoch_ = 0;
   sim::ServerPool request_pool_;
   sim::ServerPool sync_pool_;
-  std::unordered_map<UeId, Entry> store_;
-  std::unordered_map<UeId, ProcCtx> procs_;
+  FlatHashMap<UeId, Entry> store_;
+  FlatHashMap<UeId, ProcCtx> procs_;
   /// Handover requests parked while fetching the UE state (§4.3 slow path).
-  std::unordered_map<UeId, Msg> pending_handover_;
+  FlatHashMap<UeId, Msg> pending_handover_;
 };
 
 // ---------------------------------------------------------------------------
@@ -191,7 +191,7 @@ class Cta {
     std::size_t bytes = 0;
   };
   struct ProcedureLog {
-    std::deque<LogEntry> entries;
+    std::vector<LogEntry> entries;
     LogicalClock::Value end_lclock = 0;  // set by the checkpoint broadcast
     std::unordered_set<std::uint32_t> acked_by;  // replica CPF ids
     SimTime first_logged;
@@ -202,7 +202,7 @@ class Cta {
     /// checkpoint is a full-state snapshot, so ACKing k vouches for
     /// everything <= k). Entries are erased when the replica crashes: its
     /// volatile state — and the vouching — died with it.
-    std::unordered_map<std::uint32_t, std::uint64_t> acked_through;
+    FlatHashMap<std::uint32_t, std::uint64_t> acked_through;
     std::uint64_t first_seq_logged = 0;
     std::uint64_t last_seq_logged = 0;
     std::optional<Msg> pending_request;  // in-flight, awaiting CPF response
@@ -227,14 +227,14 @@ class Cta {
   LogicalClock lclock_;
   geo::ConsistentHashRing<CpfId> level1_ring_;
   geo::ConsistentHashRing<CpfId> level2_ring_;  // excludes level-1 members
-  std::unordered_map<UeId, UeRecord> ues_;
+  FlatHashMap<UeId, UeRecord> ues_;
   std::size_t log_bytes_ = 0;
   std::size_t log_messages_ = 0;
   bool scan_armed_ = false;
   // Heartbeat failure detector state.
   SimTime probe_interval_;
   int probe_miss_limit_ = 3;
-  std::unordered_map<std::uint32_t, int> missed_probes_;
+  FlatHashMap<std::uint32_t, int> missed_probes_;
   std::unordered_set<std::uint32_t> declared_failed_;
   void probe_round();
 };
@@ -309,7 +309,7 @@ class Frontend {
   void check_ryw(UeCtx& ctx, const Msg& msg);
 
   System* system_;
-  std::unordered_map<UeId, UeCtx> ues_;
+  FlatHashMap<UeId, UeCtx> ues_;
   std::vector<Outage> no_outages_;  // empty result for unknown UEs
   /// Cached "frontend.completions{proc=..}" registry handles, by type.
   std::array<obs::Counter*, Metrics::kProcTypes> completion_counters_{};
@@ -330,6 +330,10 @@ class System {
   [[nodiscard]] const ProtocolConfig& proto() const { return proto_; }
   [[nodiscard]] const CostModel& costs() const { return *costs_; }
   [[nodiscard]] Metrics& metrics() { return *metrics_; }
+  /// Recycler for in-flight Msg slots: every transport hop and service-pool
+  /// submission parks its message here so the scheduled event captures a
+  /// 16-byte handle instead of a full Msg (see core/msg_pool.hpp).
+  [[nodiscard]] MsgPool& msg_pool() { return msg_pool_; }
 
   /// Procedure tracing is off (and costs one null test per site) until a
   /// tracer is attached. The tracer must outlive the attachment.
@@ -410,6 +414,7 @@ class System {
   const CostModel* costs_;
   Metrics* metrics_;
   obs::ProcTracer* tracer_ = nullptr;
+  MsgPool msg_pool_;
 
   std::vector<std::unique_ptr<Cta>> ctas_;
   std::vector<std::unique_ptr<Cpf>> cpfs_;

@@ -1,0 +1,53 @@
+// Wall-clock and memory instrumentation for throughput benches.
+//
+// The simulator's own clock measures *simulated* time; throughput numbers
+// (events/sec, procedures/sec) need real elapsed time and the process's
+// peak resident set, which this header wraps portably enough for the
+// bench targets (Linux is the primary platform; ru_maxrss units differ
+// on macOS and are handled).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#if defined(_WIN32)
+// No getrusage; peak_rss_bytes() reports 0 rather than failing the build.
+#else
+#include <sys/resource.h>
+#endif
+
+namespace neutrino::obs {
+
+/// Monotonic wall-clock stopwatch (steady_clock).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Peak resident set size of this process, in bytes (0 if unavailable).
+inline std::size_t peak_rss_bytes() {
+#if defined(_WIN32)
+  return 0;
+#else
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#endif
+}
+
+}  // namespace neutrino::obs

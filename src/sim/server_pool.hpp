@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/flat_hash_map.hpp"
 #include "sim/event_loop.hpp"
 
 namespace neutrino::sim {
@@ -32,10 +33,21 @@ class ServerPool {
     *it = finish;
     const std::uint64_t my_generation = generation_;
     ++inflight_;
-    loop_->schedule_at(finish, [this, my_generation, cb = std::move(done)] {
-      // Jobs in flight when the node crashed are discarded.
+    // The callback parks in a slot map so the scheduled event captures
+    // only {this, id, generation} (24 bytes — inline in the event loop).
+    // Capturing the InlineTask itself would nest one task inside another
+    // and overflow the inline buffer.
+    const std::uint64_t id = next_job_id_++;
+    tasks_.try_emplace(id, std::move(done));
+    loop_->schedule_at(finish, [this, id, my_generation] {
+      // Jobs in flight when the node crashed are discarded (reset()
+      // already dropped their callbacks from the slot map).
       if (my_generation != generation_) return;
       --inflight_;
+      const auto it = tasks_.find(id);
+      assert(it != tasks_.end());
+      EventLoop::Callback cb = std::move(it->second);
+      tasks_.erase(it);
       cb();
     });
     busy_accum_ += service;
@@ -65,6 +77,7 @@ class ServerPool {
   void reset() {
     ++generation_;
     inflight_ = 0;
+    tasks_.clear();
     std::fill(core_free_.begin(), core_free_.end(), SimTime{});
   }
 
@@ -78,6 +91,8 @@ class ServerPool {
  private:
   EventLoop* loop_;
   std::vector<SimTime> core_free_;
+  FlatHashMap<std::uint64_t, EventLoop::Callback> tasks_;
+  std::uint64_t next_job_id_ = 0;
   std::uint64_t generation_ = 0;
   std::size_t inflight_ = 0;
   std::uint64_t jobs_ = 0;
