@@ -7,14 +7,17 @@
 // on this machine; the *shape* is the reproduction target (DESIGN.md §5).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/cost_model.hpp"
+#include "core/sharded_system.hpp"
 #include "core/system.hpp"
 #include "obs/report.hpp"
 #include "obs/throughput.hpp"
@@ -46,6 +49,14 @@ struct ExperimentResult {
   /// events/sec throughput figure for scale benches.
   std::uint64_t events_executed = 0;
   double wall_seconds = 0;
+  /// Sharded-runtime runs only (run_sharded_experiment): partitioning,
+  /// conservative-window and cross-shard traffic figures. shard_events is
+  /// empty for legacy single-threaded runs — report rows key off that.
+  std::uint32_t shards = 1;
+  std::uint32_t threads = 1;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_shard_messages = 0;
+  std::vector<std::uint64_t> shard_events;
 };
 
 struct ExperimentConfig {
@@ -102,7 +113,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   loop.run_until(horizon);
   const double wall_seconds = wall.seconds();
   post(system);
-  return {std::move(metrics), horizon.sec(), loop.executed(), wall_seconds};
+  return {std::move(metrics), horizon.sec(), loop.executed(), wall_seconds,
+          /*shards=*/1,       /*threads=*/1, /*windows=*/0,
+          /*cross_shard_messages=*/0,        /*shard_events=*/{}};
 }
 
 template <typename SetupFn>
@@ -117,6 +130,39 @@ inline ExperimentResult run_experiment(
     const ExperimentConfig& cfg, const std::vector<trace::TraceRecord>& t) {
   return run_experiment(cfg, t, [](core::System&, sim::EventLoop&) {},
                         [](core::System&) {});
+}
+
+/// Sharded-runtime counterpart of run_experiment: the topology is
+/// partitioned across `shards` conservatively-synchronized event loops
+/// executed by `threads` workers (DESIGN.md §11). Results are
+/// deterministic for a fixed shard count regardless of thread count; the
+/// merged metrics are comparable with a legacy run of the same topology.
+inline ExperimentResult run_sharded_experiment(
+    const ExperimentConfig& cfg, const std::vector<trace::TraceRecord>& t,
+    std::uint32_t shards, std::uint32_t threads) {
+  core::ShardedSystem::Config scfg;
+  scfg.policy = cfg.policy;
+  scfg.topo = cfg.topo;
+  scfg.proto = cfg.proto;
+  scfg.shards = shards;
+  scfg.threads = threads;
+  scfg.streaming_pct = cfg.streaming_pct;
+  core::ShardedSystem sys(scfg, measured_costs());
+  const auto regions = static_cast<std::uint32_t>(cfg.topo.total_regions());
+  for (std::uint64_t ue = 0; ue < cfg.preattached_ues; ++ue) {
+    sys.preattach(UeId(ue), static_cast<std::uint32_t>(ue % regions));
+  }
+  sys.replay(t);
+  SimTime horizon = cfg.drain;
+  if (!t.empty()) horizon += t.back().at;
+  obs::WallTimer wall;
+  sys.run_until(horizon);
+  const double wall_seconds = wall.seconds();
+  return {sys.merged_metrics(),      horizon.sec(),
+          sys.events_executed(),     wall_seconds,
+          shards,                    threads,
+          sys.stats().windows,       sys.stats().cross_messages,
+          sys.shard_events()};
 }
 
 /// Print one box-plot row: label, x, then the PCT distribution in ms.
@@ -150,6 +196,13 @@ struct BenchOptions {
   /// Benches that support PCT decomposition run it by default;
   /// --no-decompose measures the tracing-disabled baseline.
   bool decompose = true;
+  /// --threads=1,2,8: worker-thread counts for the sharded-runtime rows
+  /// of benches that support them (scale_throughput). Empty = legacy
+  /// single-threaded rows only.
+  std::vector<std::uint32_t> threads;
+  /// --shards=N: shard count for the sharded rows. 0 = max of --threads,
+  /// so the default sweep measures thread scaling at a fixed partition.
+  std::uint32_t shards = 0;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -162,9 +215,33 @@ struct BenchOptions {
         o.decompose = false;
       } else if (arg.rfind("--report=", 0) == 0) {
         o.report_path = arg.substr(9);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        std::string_view list = arg.substr(10);
+        while (!list.empty()) {
+          const std::size_t comma = list.find(',');
+          const std::string tok{list.substr(0, comma)};
+          if (!tok.empty()) {
+            o.threads.push_back(
+                static_cast<std::uint32_t>(std::strtoul(tok.c_str(),
+                                                        nullptr, 10)));
+          }
+          if (comma == std::string_view::npos) break;
+          list.remove_prefix(comma + 1);
+        }
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        o.shards = static_cast<std::uint32_t>(
+            std::strtoul(std::string{arg.substr(9)}.c_str(), nullptr, 10));
       }
     }
     return o;
+  }
+
+  /// The shard count the sharded rows actually run with.
+  [[nodiscard]] std::uint32_t effective_shards() const {
+    if (shards != 0) return shards;
+    std::uint32_t max_threads = 1;
+    for (const std::uint32_t t : threads) max_threads = std::max(max_threads, t);
+    return max_threads;
   }
 };
 
@@ -222,6 +299,9 @@ class Report {
   obs::Json& new_row(std::string_view system_name) {
     obs::Json& row = doc_["rows"].push_back(obs::Json{});
     row["system"] = system_name;
+    // Schema v2: every row declares its execution mode. attach_result
+    // overwrites this for sharded-runtime results.
+    row["mode"] = "single-thread";
     return row;
   }
 
@@ -229,6 +309,17 @@ class Report {
   static void attach_result(obs::Json& row, const ExperimentResult& result) {
     const obs::Registry& reg = result.metrics.registry;
     row["sim_seconds"] = result.sim_seconds;
+    const bool sharded = !result.shard_events.empty();
+    row["mode"] = sharded ? "sharded" : "single-thread";
+    if (sharded) {
+      row["shards"] = result.shards;
+      row["threads"] = result.threads;
+      row["windows"] = result.windows;
+      row["cross_shard_messages"] = result.cross_shard_messages;
+      obs::Json& per_shard = row["shard_events"];
+      per_shard.make_array();
+      for (const std::uint64_t e : result.shard_events) per_shard.push_back(e);
+    }
     row["counters"] = obs::counters_json(reg);
     obs::Json gauges = obs::gauges_json(reg);
     if (gauges.size() > 0) row["gauges"] = std::move(gauges);

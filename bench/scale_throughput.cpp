@@ -12,6 +12,7 @@
 // (no per-procedure sample retention). The run fails (non-zero exit) if
 // any procedure fails to complete or a Read-your-Writes violation occurs.
 #include <cinttypes>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "obs/throughput.hpp"
@@ -33,9 +34,10 @@ obs::Json streaming_summary(const LatencyRecorder& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Report report(argc, argv, "scale",
-                       "million-UE storm: simulator throughput",
-                       "simulation-core perf gate (events/sec baseline)");
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  bench::Report report("scale", "million-UE storm: simulator throughput",
+                       "simulation-core perf gate (events/sec baseline)",
+                       opts);
   const std::uint64_t n_ues = report.smoke() ? 100'000 : 1'000'000;
   // ~17 KPPS offered load: below the EPC saturation knee (Fig. 8), so the
   // measurement is simulator throughput, not modeled queueing collapse.
@@ -46,6 +48,11 @@ int main(int argc, char** argv) {
   report.config()["ues"] = n_ues;
   report.config()["attach_window_s"] = attach_window.sec();
   report.config()["wave_gap_s"] = wave_gap.sec();
+  // Interpreting the sharded rows needs the machine's parallelism: on a
+  // single-core host the threads>1 rows measure synchronization overhead,
+  // not speedup (results are identical either way; only wall-clock moves).
+  report.config()["hardware_threads"] =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
 
   // Build the two-wave trace: attach storm, then a service-request storm.
   trace::BurstyWorkload attaches(n_ues, attach_window, /*seed=*/42);
@@ -121,6 +128,75 @@ int main(int argc, char** argv) {
                    " of %" PRIu64 " procedures, ryw_violations=%" PRIu64 "\n",
                    std::string(policy.name).c_str(), completed, started, ryw);
       ok = false;
+    }
+  }
+
+  // Sharded-runtime rows (--threads=1,2,..., optional --shards=N): the
+  // same two-wave storm over a topology partitioned one region per shard
+  // (UE homes are ue % regions, so load spreads evenly). Cross-shard
+  // traffic comes from Neutrino's level-2 remote backups. Results are
+  // deterministic per shard count; only wall-clock varies with threads.
+  if (!opts.threads.empty()) {
+    const std::uint32_t shards = opts.effective_shards();
+    bench::ExperimentConfig cfg;
+    cfg.policy = core::neutrino_policy();
+    cfg.topo = core::TopologyConfig{};
+    cfg.topo.l1_per_l2 = static_cast<int>(shards);  // one region per shard
+    cfg.proto = core::ProtocolConfig{};
+    cfg.streaming_pct = true;
+    report.config()["shards"] = shards;
+    report.config()["sharded_regions"] = cfg.topo.total_regions();
+
+    for (const std::uint32_t threads : opts.threads) {
+      auto result = bench::run_sharded_experiment(cfg, t, shards, threads);
+      const std::uint64_t started = result.metrics.procedures_started;
+      const std::uint64_t completed = result.metrics.procedures_completed;
+      const std::uint64_t ryw = result.metrics.ryw_violations;
+      const double events_per_sec =
+          result.wall_seconds > 0
+              ? static_cast<double>(result.events_executed) /
+                    result.wall_seconds
+              : 0.0;
+      const double procs_per_sec =
+          result.wall_seconds > 0
+              ? static_cast<double>(completed) / result.wall_seconds
+              : 0.0;
+      const std::size_t rss = obs::peak_rss_bytes();
+
+      std::printf("scale\t%s\tshards=%u\tthreads=%u\tues=%" PRIu64
+                  "\tevents=%" PRIu64 "\twindows=%" PRIu64
+                  "\tcross=%" PRIu64
+                  "\twall_s=%.3f\tevents_per_sec=%.0f\tprocs_per_sec=%.0f"
+                  "\tpeak_rss_mb=%.1f\tcompleted=%" PRIu64 "/%" PRIu64
+                  "\tryw=%" PRIu64 "\n",
+                  std::string(cfg.policy.name).c_str(), shards, threads,
+                  n_ues, result.events_executed, result.windows,
+                  result.cross_shard_messages, result.wall_seconds,
+                  events_per_sec, procs_per_sec,
+                  static_cast<double>(rss) / (1024.0 * 1024.0), completed,
+                  started, ryw);
+
+      obs::Json& row = report.new_row(cfg.policy.name);
+      row["ues"] = n_ues;
+      row["events_executed"] = result.events_executed;
+      row["wall_seconds"] = result.wall_seconds;
+      row["events_per_sec"] = events_per_sec;
+      row["procedures_per_sec"] = procs_per_sec;
+      row["peak_rss_bytes"] = rss;
+      row["attach_ms"] = streaming_summary(result.metrics.pct_for(
+          core::ProcedureType::kAttach));
+      row["service_request_ms"] = streaming_summary(result.metrics.pct_for(
+          core::ProcedureType::kServiceRequest));
+      bench::Report::attach_result(row, result);
+
+      if (completed != started || ryw != 0) {
+        std::fprintf(stderr,
+                     "scale_throughput: FAILED sharded (shards=%u threads=%u)"
+                     ": completed %" PRIu64 " of %" PRIu64
+                     " procedures, ryw_violations=%" PRIu64 "\n",
+                     shards, threads, completed, started, ryw);
+        ok = false;
+      }
     }
   }
   report.finish();

@@ -40,15 +40,36 @@ python3 scripts/validate_report.py "${REPORTS[@]}"
 echo "== trace demo"
 "$BUILD/examples/trace_explore" >/dev/null
 
+# ThreadSanitizer pass over the multi-threaded sharded runtime (and the
+# event-loop/determinism suites it builds on). TSan and ASan cannot share
+# a build; this is a separate configuration so both always run.
+if [[ "${FAST:-0}" != "1" ]]; then
+  echo "== build-tsan + parallel runtime tests"
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    >/dev/null
+  cmake --build build-tsan -j \
+    --target sim_core_test parallel_runtime_test parallel_determinism_test
+  for t in sim_core_test parallel_runtime_test parallel_determinism_test; do
+    echo "-- tsan: $t"
+    "build-tsan/tests/$t"
+  done
+fi
+
 # Throughput gate: the 100k-UE storm must complete every procedure with
 # zero RYW violations (scale_throughput exits non-zero otherwise), at
 # release optimization levels — sanitized builds measure the sanitizer.
+# The sharded rows re-run the storm over the partitioned topology on two
+# worker threads, exercising the cross-shard path at full optimization.
 echo "== release build + scale smoke (build-release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
 cmake --build build-release -j --target scale_throughput sim_core_gbench
 out=build-release/bench/scale_throughput.smoke-report.json
-build-release/bench/scale_throughput --smoke --report="$out"
+build-release/bench/scale_throughput --smoke --threads=1,2 --shards=2 \
+  --report="$out"
 python3 scripts/validate_report.py "$out"
+python3 scripts/summarize_bench.py "$out"
 
 echo "check.sh: all green"

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Render bench_output.txt into per-figure comparison tables.
+"""Render bench output into per-figure comparison tables.
 
-Usage:  python3 scripts/summarize_bench.py [bench_output.txt]
+Usage:  python3 scripts/summarize_bench.py [FILE ...]
 
-For the PCT figures it pivots median PCT into an x-by-system table and
-appends the best-vs-EPC ratio, which is the number the paper quotes.
-No third-party dependencies.
+Each FILE is either a bench's TSV stdout (default: bench_output.txt) or a
+neutrino.bench-report JSON document (e.g. BENCH_scale.json). For the PCT
+figures it pivots median PCT into an x-by-system table and appends the
+best-vs-EPC ratio, which is the number the paper quotes. For JSON reports
+with sharded-runtime rows it prints a thread-scaling table: events/s,
+events/s per thread, and speedup relative to the threads=1 row of the
+same shard count. No third-party dependencies.
 """
-import re
+import json
 import sys
 from collections import defaultdict
 
@@ -59,14 +63,78 @@ def passthrough_table(fig, rows):
         print("  " + "  ".join(fields))
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+def load_json_report(text):
+    """Parse a bench-report document (possibly with TSV rows in front)."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        doc = json.loads(stripped)
+    else:
+        lines = text.splitlines(keepends=True)
+        start = next((i for i, ln in enumerate(lines)
+                      if ln.rstrip("\n") == "{"), None)
+        if start is None:
+            return None
+        doc = json.loads("".join(lines[start:]))
+    if doc.get("schema") != "neutrino.bench-report":
+        return None
+    return doc
+
+
+def scaling_table(doc):
+    """events/s-per-thread scaling of a report's sharded rows."""
+    fig = doc.get("figure", "?")
+    single = [r for r in doc.get("rows", [])
+              if r.get("mode") != "sharded" and "events_per_sec" in r]
+    sharded = [r for r in doc.get("rows", []) if r.get("mode") == "sharded"]
+    for row in single:
+        print(f"  {row.get('system', '?'):>12}  single-thread baseline: "
+              f"{row['events_per_sec'] / 1e6:6.2f}M events/s")
+    if not sharded:
+        print(f"  (no sharded rows in {fig})")
+        return
+    by_shards = defaultdict(list)
+    for row in sharded:
+        by_shards[row.get("shards", 0)].append(row)
+    for shards in sorted(by_shards):
+        rows = sorted(by_shards[shards], key=lambda r: r.get("threads", 0))
+        base = next((r["events_per_sec"] for r in rows
+                     if r.get("threads") == 1), None)
+        print(f"\n  shards={shards}")
+        print(f"  {'threads':>8} {'events/s':>12} {'per-thread':>12} "
+              f"{'speedup':>8} {'windows':>10} {'cross-msgs':>12}")
+        for r in rows:
+            threads = r.get("threads", 0)
+            eps = r.get("events_per_sec", 0.0)
+            per_thread = eps / threads if threads else 0.0
+            speedup = f"{eps / base:7.2f}x" if base else "      ?"
+            print(f"  {threads:>8} {eps:>12.0f} {per_thread:>12.0f} "
+                  f"{speedup:>8} {r.get('windows', 0):>10} "
+                  f"{r.get('cross_shard_messages', 0):>12}")
+
+
+def summarize_tsv(path):
     rows = parse(path)
     for fig in sorted(rows):
         if any(any(f.startswith("p50=") for f in r) for r in rows[fig]):
             medians_table(fig, rows[fig])
         else:
             passthrough_table(fig, rows[fig])
+
+
+def main():
+    paths = sys.argv[1:] if len(sys.argv) > 1 else ["bench_output.txt"]
+    for path in paths:
+        doc = None
+        try:
+            doc = load_json_report(open(path).read())
+        except (OSError, json.JSONDecodeError):
+            doc = None
+        if doc is not None:
+            print(f"\n== {doc.get('figure', path)}: sharded-runtime "
+                  f"scaling ({path}) ==")
+            scaling_table(doc)
+        else:
+            summarize_tsv(path)
 
 
 if __name__ == "__main__":

@@ -13,7 +13,10 @@ that is exactly "{"). Checks, per file:
   * counters are non-negative integers;
   * when a row carries decomposition_ms, each procedure's component means
     (propagation + queueing + service + serialization + other) sum to the
-    "total" mean within 1% — the tracer's tiling guarantee.
+    "total" mean within 1% — the tracer's tiling guarantee;
+  * version >= 2: every row carries "mode"; "sharded" rows carry
+    shards/threads/windows/cross_shard_messages and a shard_events list
+    with one non-negative entry per shard summing to events_executed.
 
 Exit code 0 when every file passes. No third-party dependencies.
 """
@@ -22,6 +25,7 @@ import sys
 
 COMPONENTS = ("propagation", "queueing", "service", "serialization", "other")
 SCHEMA = "neutrino.bench-report"
+MODES = ("single-thread", "sharded")
 
 
 def extract_json(text):
@@ -62,12 +66,42 @@ def check_decomposition(path, where, decomp, errors):
                 f"but total is {total:.6f} (>1% off)")
 
 
-def check_rows(path, rows, errors):
+def check_sharded(path, where, row, errors):
+    for k in ("shards", "threads", "windows", "cross_shard_messages",
+              "shard_events"):
+        if k not in row:
+            errors.append(f"{path}: {where}: sharded row missing '{k}'")
+            return
+    per_shard = row["shard_events"]
+    if (not isinstance(per_shard, list) or
+            any(not isinstance(e, int) or e < 0 for e in per_shard)):
+        errors.append(f"{path}: {where}: shard_events must be a list of "
+                      f"non-negative integers: {per_shard!r}")
+        return
+    if len(per_shard) != row["shards"]:
+        errors.append(f"{path}: {where}: {len(per_shard)} shard_events "
+                      f"entries for shards={row['shards']}")
+    if row["threads"] < 1:
+        errors.append(f"{path}: {where}: threads = {row['threads']!r}")
+    if "events_executed" in row and sum(per_shard) != row["events_executed"]:
+        errors.append(
+            f"{path}: {where}: shard_events sum to {sum(per_shard)} but "
+            f"events_executed is {row['events_executed']}")
+
+
+def check_rows(path, rows, errors, version):
     decomposed = 0
     for i, row in enumerate(rows):
         where = f"rows[{i}]"
         if "system" not in row:
             errors.append(f"{path}: {where}: missing 'system'")
+        if version >= 2:
+            mode = row.get("mode")
+            if mode not in MODES:
+                errors.append(f"{path}: {where}: mode is {mode!r}, "
+                              f"want one of {MODES}")
+            elif mode == "sharded":
+                check_sharded(path, where, row, errors)
         for key, val in row.items():
             if isinstance(val, dict) and "p50" in val and "n" in val:
                 check_summary(path, f"{where}.{key}", val, errors)
@@ -102,7 +136,8 @@ def validate(path):
             errors.append(f"{path}: missing '{k}'")
     if not doc.get("rows"):
         errors.append(f"{path}: no rows")
-    decomposed = check_rows(path, doc.get("rows", []), errors)
+    version = doc.get("version") if isinstance(doc.get("version"), int) else 1
+    decomposed = check_rows(path, doc.get("rows", []), errors, version)
     return errors, decomposed
 
 

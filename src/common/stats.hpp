@@ -83,9 +83,18 @@ class LatencyRecorder {
   }
 
   void merge(const LatencyRecorder& other) {
-    if (streaming_only_ || other.streaming_only_) {
-      assert(streaming_only_ && other.streaming_only_);
+    if (other.streaming_only_) {
+      // A fresh merge target (e.g. the joined Metrics of a sharded run)
+      // adopts the source's constant-memory mode.
+      if (!streaming_only_) {
+        assert(samples_.empty());
+        streaming_only_ = true;
+      }
       stream_.merge(other.stream_);
+      return;
+    }
+    if (streaming_only_) {
+      for (const double v : other.samples_) stream_.add(v);
       return;
     }
     samples_.insert(samples_.end(), other.samples_.begin(),
@@ -129,9 +138,14 @@ class LatencyRecorder {
   }
   [[nodiscard]] double mean() const {
     if (streaming_only_) return stream_.mean();
+    if (samples_.empty()) return 0.0;
+    // Sum in sorted order so the result does not depend on insertion /
+    // merge order or on whether a percentile query sorted the vector
+    // first — summaries must be bit-identical across shard merges.
+    sort_if_needed();
     double sum = 0.0;
     for (double v : samples_) sum += v;
-    return samples_.empty() ? 0.0 : sum / static_cast<double>(samples_.size());
+    return sum / static_cast<double>(samples_.size());
   }
 
   /// The fixed set of summary statistics every exporter row carries.

@@ -285,7 +285,7 @@ void Frontend::check_ryw(UeCtx& ctx, const Msg& msg) {
   }
 }
 
-void Frontend::preattach(UeId ue, std::uint32_t region) {
+void Frontend::preattach_context(UeId ue, std::uint32_t region) {
   UeCtx& ctx = ues_[ue];
   ctx.region = region;
   ctx.prev_region = region;
@@ -293,7 +293,10 @@ void Frontend::preattach(UeId ue, std::uint32_t region) {
   ctx.completed_procs = 1;
   ctx.last_completed_seq = 1;
   ctx.next_proc_seq = 2;
+}
 
+std::shared_ptr<UeState> Frontend::make_preattached_state(
+    UeId ue, std::uint32_t region) {
   auto state = std::make_shared<UeState>();
   state->ue = ue;
   state->imsi = 410'010'000'000'000ULL + ue.value();
@@ -304,7 +307,12 @@ void Frontend::preattach(UeId ue, std::uint32_t region) {
   state->upf = UpfId(region);
   state->last_completed_proc = 1;
   state->last_lclock = 0;
+  return state;
+}
 
+void Frontend::preattach(UeId ue, std::uint32_t region) {
+  preattach_context(ue, region);
+  auto state = make_preattached_state(ue, region);
   system_->cpf(system_->primary_cpf_for(ue, region))
       .preinstall(state, /*as_primary=*/true);
   for (const CpfId b : system_->backups_for(ue, region)) {

@@ -59,6 +59,22 @@ struct Metrics {
     for (auto& r : pct_under_failure) r.use_streaming_only();
   }
 
+  /// Merge-on-join for sharded runs: fold one shard's metrics into this
+  /// (fresh) aggregate. Counters/histograms/series go via Registry::merge;
+  /// the named reference members pick the sums up automatically because
+  /// they alias this registry's map nodes.
+  void merge_from(const Metrics& other) {
+    registry.merge(other.registry);
+    for (std::size_t i = 0; i < kProcTypes; ++i) {
+      pct[i].merge(other.pct[i]);
+      pct_under_failure[i].merge(other.pct_under_failure[i]);
+    }
+    cta_log_peak_bytes =
+        cta_log_peak_bytes > other.cta_log_peak_bytes
+            ? cta_log_peak_bytes
+            : other.cta_log_peak_bytes;
+  }
+
   // Protocol counters (registry-backed; see file comment).
   obs::Counter& procedures_started = registry.counter("core.procedures_started");
   obs::Counter& procedures_completed =

@@ -1,0 +1,160 @@
+// N core::System instances — one per shard — glued to the conservative
+// sharded runtime (sim/parallel/runtime.hpp).
+//
+// Partitioning: level-1 regions are block-partitioned across shards
+// (System::shard_of_region); a UE belongs to the shard owning its home
+// region (ue % total_regions, matching Frontend's fresh-UE homing and the
+// bench preattach round-robin). Every shard constructs the full topology
+// but executes only its own regions' node logic; the rest are liveness
+// shadows kept consistent by mirroring failure injections on all shards
+// at the same simulated time (schedule_crash/schedule_restore).
+//
+// The lookahead window is derived from the topology: the minimum
+// cpf_link() latency over region pairs owned by different shards, minus
+// 1ns so cross-shard arrivals land strictly after the window end (the
+// runtime asserts this). Block partitioning is what keeps this large:
+// contiguous regions share a shard, so the 5µs intra-region links never
+// cross, and the window is bounded by the ≥400µs inter-region links.
+//
+// Determinism: fixed shard count ⇒ bit-identical counters, PCT
+// distributions and traces across runs and worker-thread counts; one
+// shard ⇒ no sink, no windows — exactly the legacy single-threaded loop
+// (tests/parallel_determinism_test.cpp proves both differentially).
+//
+// Unsupported under >1 shard (UE↔CTA links sit below any cross-shard
+// lookahead, so UEs cannot re-home across a shard boundary): inter-shard
+// kHandover targets and CTA crashes whose reroute would cross shards.
+// System::ue_to_cta asserts on violations; see DESIGN.md §11.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/metrics.hpp"
+#include "core/policy.hpp"
+#include "core/shard_link.hpp"
+#include "core/system.hpp"
+#include "core/topology.hpp"
+#include "sim/parallel/runtime.hpp"
+
+namespace neutrino::core {
+
+class ShardedSystem {
+ public:
+  using Runtime = sim::parallel::ShardedRuntime<ShardEnvelope>;
+
+  struct Config {
+    CorePolicy policy;
+    TopologyConfig topo;
+    ProtocolConfig proto;
+    std::uint32_t shards = 1;
+    std::uint32_t threads = 1;
+    sim::EventLoop::Config loop;
+    std::uint64_t rng_seed = 1;
+    bool streaming_pct = false;
+    std::size_t channel_capacity = 1024;
+  };
+
+  ShardedSystem(const Config& config, const CostModel& costs);
+
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] std::uint32_t shard_of_region(std::uint32_t region) const {
+    return shards_[0].system->shard_of_region(region);
+  }
+  [[nodiscard]] std::uint32_t shard_of_ue(UeId ue) const {
+    return shard_of_region(home_region(ue));
+  }
+  [[nodiscard]] std::uint32_t home_region(UeId ue) const {
+    return static_cast<std::uint32_t>(
+        ue.value() % static_cast<std::uint64_t>(topo_.total_regions()));
+  }
+  [[nodiscard]] System& system(std::uint32_t shard) {
+    return *shards_[shard].system;
+  }
+  [[nodiscard]] Metrics& metrics(std::uint32_t shard) {
+    return *shards_[shard].metrics;
+  }
+  [[nodiscard]] Runtime& runtime() { return runtime_; }
+  [[nodiscard]] SimTime lookahead() const { return runtime_.lookahead(); }
+
+  /// Derived window length for a hypothetical (topo, shards) pair:
+  /// min cross-shard cpf_link − 1ns, or SimTime::max() for one shard.
+  [[nodiscard]] static SimTime lookahead_for(const TopologyConfig& topo,
+                                             std::uint32_t shards);
+
+  /// Sharded preattach: UE context on the home shard, replica state on
+  /// each replica's owning shard (same placement as Frontend::preattach).
+  void preattach(UeId ue, std::uint32_t region);
+
+  /// Partition a trace across shards by UE home region. Templated on the
+  /// record type (trace::TraceRecord-shaped) to keep core below trace in
+  /// the layering.
+  template <class Record>
+  void replay(const std::vector<Record>& trace) {
+    for (const Record& rec : trace) {
+      System& home = *shards_[shard_of_ue(rec.ue)].system;
+      home.loop().schedule_at(rec.at, [&home, rec] {
+        home.frontend().start_procedure(rec.ue, rec.type, rec.target_region);
+      });
+    }
+  }
+
+  /// Failure injections, mirrored on every shard at the same simulated
+  /// time so shadow liveness/epoch state never diverges from the owner's.
+  void schedule_crash(SimTime at, CpfId id);
+  void schedule_restore(SimTime at, CpfId id);
+
+  /// Per-shard tracer for differential tests (must outlive the run).
+  void attach_tracer(std::uint32_t shard, obs::ProcTracer& tracer) {
+    shards_[shard].system->attach_tracer(tracer);
+  }
+
+  /// Drive all shards to the horizon (spawns threads−1 workers; the
+  /// calling thread participates).
+  void run_until(SimTime horizon);
+
+  /// Fold every shard's metrics into one aggregate (merge-on-join).
+  [[nodiscard]] Metrics merged_metrics() const;
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return runtime_.events_executed();
+  }
+  [[nodiscard]] const Runtime::Stats& stats() const {
+    return runtime_.stats();
+  }
+  [[nodiscard]] std::vector<std::uint64_t> shard_events() {
+    std::vector<std::uint64_t> out;
+    out.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      out.push_back(runtime_.loop(i).executed());
+    }
+    return out;
+  }
+
+ private:
+  struct Sink final : CrossShardSink {
+    Runtime* runtime = nullptr;
+    std::uint32_t src = 0;
+    void post(std::uint32_t dest_shard, SimTime arrival,
+              ShardEnvelope envelope) override {
+      runtime->post(src, dest_shard, arrival, std::move(envelope));
+    }
+  };
+  struct Shard {
+    std::unique_ptr<Metrics> metrics;  // stable address for System's ref
+    std::unique_ptr<System> system;
+  };
+
+  [[nodiscard]] static Runtime::Config runtime_config(const Config& config);
+
+  TopologyConfig topo_;
+  Runtime runtime_;
+  std::vector<Sink> sinks_;  // sized once in the ctor; addresses stable
+  std::vector<Shard> shards_;
+};
+
+}  // namespace neutrino::core

@@ -71,14 +71,22 @@ void Upf::preinstall(UeId ue) {
 // ---------------------------------------------------------------------------
 
 System::System(sim::EventLoop& loop, CorePolicy policy, TopologyConfig topo,
-               ProtocolConfig proto, const CostModel& costs, Metrics& metrics)
+               ProtocolConfig proto, const CostModel& costs, Metrics& metrics,
+               ShardSpec shard)
     : loop_(&loop),
       policy_(policy),
       topo_(topo),
       proto_(proto),
       costs_(&costs),
-      metrics_(&metrics) {
+      metrics_(&metrics),
+      shard_(shard) {
   const int regions = topo_.total_regions();
+  assert(shard_.n_shards >= 1 &&
+         static_cast<int>(shard_.n_shards) <= regions);
+  // Ceiling division: the last shard may own fewer regions.
+  regions_per_shard_ = (static_cast<std::uint32_t>(regions) +
+                        shard_.n_shards - 1) /
+                       shard_.n_shards;
   ctas_.reserve(static_cast<std::size_t>(regions));
   upfs_.reserve(static_cast<std::size_t>(regions));
   cpfs_.reserve(static_cast<std::size_t>(topo_.total_cpfs()));
@@ -104,6 +112,11 @@ std::vector<CpfId> System::backups_for(UeId ue, std::uint32_t region) const {
 }
 
 void System::ue_to_cta(std::uint32_t region, Msg msg) {
+  // UE↔CTA links (10µs) sit *below* the cross-shard lookahead, so UEs are
+  // pinned to the shard owning their home region; scenarios that would
+  // re-home a UE across a shard boundary (inter-shard handover, CTA-crash
+  // reroute) are unsupported under sharding — see DESIGN.md §11.
+  assert(owns_region(region) && "cross-shard UE->CTA is unsupported");
   trace_prop(msg, "ue->cta", region, topo_.latency.ue_to_cta);
   // All transports park the message in the pool so the event captures a
   // handle (inline-schedulable) instead of a full Msg. take() runs first,
@@ -119,6 +132,7 @@ void System::ue_to_cta(std::uint32_t region, Msg msg) {
 }
 
 void System::cta_to_ue(Msg msg) {
+  assert(owns_region(msg.region) && "cross-shard CTA->UE is unsupported");
   trace_prop(msg, "cta->ue", msg.region, topo_.latency.ue_to_cta);
   loop_->schedule_after(topo_.latency.ue_to_cta,
                         [this, h = msg_pool_.acquire(std::move(msg))]() mutable {
@@ -132,6 +146,11 @@ void System::cta_to_cpf(std::uint32_t cta_region, CpfId cpf, Msg msg) {
                               ? topo_.latency.cta_to_cpf
                               : topo_.cpf_link(cta_region, cpf_region);
   trace_prop(msg, "cta->cpf", cpf.value(), latency);
+  if (!owns_region(cpf_region)) {
+    post_remote(ShardEnvelope::Dest::kCpf, cpf.value(), cpf_region, latency,
+                std::move(msg));
+    return;
+  }
   loop_->schedule_after(
       latency, [this, cpf, h = msg_pool_.acquire(std::move(msg))]() mutable {
         Msg m = h.take();
@@ -147,6 +166,11 @@ void System::cpf_to_cta(CpfId from, std::uint32_t cta_region, Msg msg) {
                               ? topo_.latency.cta_to_cpf
                               : topo_.cpf_link(from_region, cta_region);
   trace_prop(msg, "cpf->cta", cta_region, latency);
+  if (!owns_region(cta_region)) {
+    post_remote(ShardEnvelope::Dest::kCtaDownlink, cta_region, cta_region,
+                latency, std::move(msg));
+    return;
+  }
   loop_->schedule_after(latency,
                         [this, cta_region,
                          h = msg_pool_.acquire(std::move(msg))]() mutable {
@@ -161,6 +185,12 @@ void System::cpf_to_cpf(CpfId from, CpfId to, Msg msg) {
   const SimTime latency =
       topo_.cpf_link(topo_.region_of_cpf(from), topo_.region_of_cpf(to));
   trace_prop(msg, "cpf->cpf", to.value(), latency);
+  if (const std::uint32_t to_region = topo_.region_of_cpf(to);
+      !owns_region(to_region)) {
+    post_remote(ShardEnvelope::Dest::kCpf, to.value(), to_region, latency,
+                std::move(msg));
+    return;
+  }
   loop_->schedule_after(
       latency, [this, to, h = msg_pool_.acquire(std::move(msg))]() mutable {
         Msg m = h.take();
@@ -176,6 +206,11 @@ void System::cpf_to_upf(CpfId from, std::uint32_t upf_region, Msg msg) {
                               ? topo_.latency.cpf_to_upf
                               : topo_.cpf_link(from_region, upf_region);
   trace_prop(msg, "cpf->upf", upf_region, latency);
+  if (!owns_region(upf_region)) {
+    post_remote(ShardEnvelope::Dest::kUpf, upf_region, upf_region, latency,
+                std::move(msg));
+    return;
+  }
   loop_->schedule_after(latency,
                         [this, upf_region,
                          h = msg_pool_.acquire(std::move(msg))]() mutable {
@@ -189,6 +224,11 @@ void System::upf_to_cpf(std::uint32_t upf_region, CpfId cpf, Msg msg) {
                               ? topo_.latency.cpf_to_upf
                               : topo_.cpf_link(upf_region, cpf_region);
   trace_prop(msg, "upf->cpf", cpf.value(), latency);
+  if (!owns_region(cpf_region)) {
+    post_remote(ShardEnvelope::Dest::kCpf, cpf.value(), cpf_region, latency,
+                std::move(msg));
+    return;
+  }
   loop_->schedule_after(
       latency, [this, cpf, h = msg_pool_.acquire(std::move(msg))]() mutable {
         Msg m = h.take();
@@ -215,13 +255,51 @@ void System::upf_to_cta(std::uint32_t upf_region, Msg msg) {
                         });
 }
 
+void System::deliver_envelope(SimTime arrival, ShardEnvelope envelope) {
+  // The lookahead guarantees arrival > the window this loop just ran to
+  // (so the max() below never actually clamps); replay the alive-gating
+  // of the local transports at delivery time.
+  const SimTime when = std::max(arrival, loop_->now());
+  const ShardEnvelope::Dest dest = envelope.dest;
+  const std::uint32_t dest_id = envelope.dest_id;
+  loop_->schedule_at(
+      when, [this, dest, dest_id,
+             h = msg_pool_.acquire(std::move(envelope.msg))]() mutable {
+        Msg m = h.take();
+        switch (dest) {
+          case ShardEnvelope::Dest::kCtaUplink:
+            if (ctas_[dest_id]->alive()) {
+              ctas_[dest_id]->deliver_uplink(std::move(m));
+            }
+            break;
+          case ShardEnvelope::Dest::kCtaDownlink:
+            if (ctas_[dest_id]->alive()) {
+              ctas_[dest_id]->deliver_downlink(std::move(m));
+            }
+            break;
+          case ShardEnvelope::Dest::kCpf:
+            if (cpfs_[dest_id]->alive()) {
+              cpfs_[dest_id]->deliver(std::move(m));
+            }
+            break;
+          case ShardEnvelope::Dest::kUpf:
+            upfs_[dest_id]->deliver(std::move(m));
+            break;
+        }
+      });
+}
+
 void System::crash_cpf(CpfId id) {
   cpfs_[id.value()]->crash();
   // Every CTA that might route to this CPF learns after the detection
-  // delay (excluded from PCT when zero, per §6.4).
+  // delay (excluded from PCT when zero, per §6.4). Under sharding the
+  // crash is mirrored on every shard (shadow liveness stays consistent),
+  // but only owned CTAs hold UE records and drive recovery.
   loop_->schedule_after(proto_.failure_detection, [this, id] {
     for (auto& cta : ctas_) {
-      if (cta->alive()) cta->on_cpf_failure(id);
+      if (cta->alive() && owns_region(cta->region())) {
+        cta->on_cpf_failure(id);
+      }
     }
   });
 }
@@ -239,7 +317,9 @@ void System::crash_cta(std::uint32_t region) {
 
 void System::sample_log_sizes() {
   std::size_t total = 0;
-  for (const auto& cta : ctas_) total += cta->log_bytes();
+  for (const auto& cta : ctas_) {
+    if (owns_region(cta->region())) total += cta->log_bytes();
+  }
   metrics_->cta_log_peak_bytes =
       std::max(metrics_->cta_log_peak_bytes, total);
   metrics_->registry.gauge("cta.log_peak_bytes")
@@ -250,6 +330,9 @@ void System::sample_occupancy() {
   const SimTime now = loop_->now();
   obs::Registry& reg = metrics_->registry;
   for (std::size_t r = 0; r < ctas_.size(); ++r) {
+    // Shadow nodes carry no load; skipping them keeps each label series
+    // owned by exactly one shard, so Registry::merge concatenates cleanly.
+    if (!owns_region(static_cast<std::uint32_t>(r))) continue;
     const obs::Labels labels{{"region", std::to_string(r)}};
     reg.time_series("cta.log_bytes", labels)
         .push(now, static_cast<double>(ctas_[r]->log_bytes()));
@@ -260,6 +343,7 @@ void System::sample_occupancy() {
         .push(now, static_cast<double>(cta_occ.depth));
   }
   for (std::size_t c = 0; c < cpfs_.size(); ++c) {
+    if (!owns_region(cpfs_[c]->region())) continue;
     const obs::Labels labels{{"cpf", std::to_string(c)}};
     const auto req = cpfs_[c]->request_occupancy();
     const auto sync = cpfs_[c]->sync_occupancy();

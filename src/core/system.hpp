@@ -16,6 +16,7 @@
 #include "core/msg.hpp"
 #include "core/msg_pool.hpp"
 #include "core/policy.hpp"
+#include "core/shard_link.hpp"
 #include "core/topology.hpp"
 #include "core/ue_state.hpp"
 #include "geo/hash_ring.hpp"
@@ -255,6 +256,12 @@ class Frontend {
   /// Create a UE that is already attached with state installed at its
   /// primary and backups (bench populations skip millions of attaches).
   void preattach(UeId ue, std::uint32_t region);
+  /// Sharded building blocks of preattach(): the home shard installs the
+  /// UE context, while each replica's *owning* shard runs the
+  /// Cpf::preinstall calls (ShardedSystem::preattach drives both).
+  void preattach_context(UeId ue, std::uint32_t region);
+  [[nodiscard]] static std::shared_ptr<UeState> make_preattached_state(
+      UeId ue, std::uint32_t region);
 
   /// Idle-mode mobility: the UE silently moves to another region; its next
   /// procedure (typically a kTau) runs through the new region's CTA.
@@ -321,7 +328,8 @@ class Frontend {
 class System {
  public:
   System(sim::EventLoop& loop, CorePolicy policy, TopologyConfig topo,
-         ProtocolConfig proto, const CostModel& costs, Metrics& metrics);
+         ProtocolConfig proto, const CostModel& costs, Metrics& metrics,
+         ShardSpec shard = {});
 
   // Accessors used by the actors.
   [[nodiscard]] sim::EventLoop& loop() { return *loop_; }
@@ -351,6 +359,24 @@ class System {
   [[nodiscard]] bool cpf_alive(CpfId id) const {
     return cpfs_[id.value()]->alive();
   }
+
+  // -- sharding (see core/shard_link.hpp; identity in single-shard mode) ----
+  /// Owning shard for a level-1 region: contiguous blocks, so intra-block
+  /// links (the short ones) stay shard-local and the lookahead is bounded
+  /// by the cheaper *inter*-block latencies.
+  [[nodiscard]] std::uint32_t shard_of_region(std::uint32_t region) const {
+    return region / regions_per_shard_;
+  }
+  /// True when this System instance executes the region's node logic
+  /// (always true without a sink — the legacy single-threaded mode).
+  [[nodiscard]] bool owns_region(std::uint32_t region) const {
+    return shard_.sink == nullptr ||
+           shard_of_region(region) == shard_.shard;
+  }
+  [[nodiscard]] const ShardSpec& shard() const { return shard_; }
+  /// Re-entry point for cross-shard messages: schedules the envelope's
+  /// message onto this shard's loop at the precomputed arrival time.
+  void deliver_envelope(SimTime arrival, ShardEnvelope envelope);
 
   /// Stable key a UE hashes to on every ring (M-TMSI/S1AP id, §4.3 fn15).
   [[nodiscard]] static std::uint64_t ue_key(UeId ue) {
@@ -407,12 +433,22 @@ class System {
     }
   }
 
+  /// Hand a message bound for a non-owned region to the cross-shard sink
+  /// (arrival = now + latency, already past the current window's end).
+  void post_remote(ShardEnvelope::Dest dest, std::uint32_t dest_id,
+                   std::uint32_t dest_region, SimTime latency, Msg msg) {
+    shard_.sink->post(shard_of_region(dest_region), loop_->now() + latency,
+                      ShardEnvelope{dest, dest_id, std::move(msg)});
+  }
+
   sim::EventLoop* loop_;
   CorePolicy policy_;
   TopologyConfig topo_;
   ProtocolConfig proto_;
   const CostModel* costs_;
   Metrics* metrics_;
+  ShardSpec shard_;
+  std::uint32_t regions_per_shard_ = 1;
   obs::ProcTracer* tracer_ = nullptr;
   MsgPool msg_pool_;
 

@@ -145,6 +145,29 @@ class Registry {
     for (const auto& [k, cell] : series_) f(k, cell.instrument);
   }
 
+  /// Fold another registry in (per-shard instruments joining at the end
+  /// of a sharded run): counters add, gauges keep the high watermark,
+  /// histograms merge distributions, time series concatenate. Each label
+  /// set is owned by exactly one shard (System::sample_occupancy skips
+  /// shadow nodes), so concatenation preserves per-series time order.
+  void merge(const Registry& other) {
+    for (const auto& [k, cell] : other.counters_) {
+      counters_[k].instrument += cell.instrument.value();
+    }
+    for (const auto& [k, cell] : other.gauges_) {
+      gauges_[k].instrument.high_watermark(cell.instrument.value());
+    }
+    for (const auto& [k, cell] : other.histograms_) {
+      histograms_[k].instrument.merge(cell.instrument);
+    }
+    for (const auto& [k, cell] : other.series_) {
+      TimeSeries& dst = series_[k].instrument;
+      for (const TimeSeries::Point& p : cell.instrument.points()) {
+        dst.push(p.at, p.value);
+      }
+    }
+  }
+
   /// Canonical flat key: name, then "{k=v,...}" with labels sorted by key.
   static std::string key(std::string_view name, const Labels& labels) {
     std::string k{name};

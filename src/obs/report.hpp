@@ -12,7 +12,13 @@
 namespace neutrino::obs {
 
 inline constexpr std::string_view kBenchReportSchema = "neutrino.bench-report";
-inline constexpr int kBenchReportVersion = 1;
+// Version history:
+//   1 — initial envelope: figure/title/config + rows with counters,
+//       gauges, decomposition and time series.
+//   2 — every row carries "mode" ("single-thread" | "sharded"); sharded
+//       rows add shards/threads/windows/cross_shard_messages/shard_events
+//       (the sharded-runtime scaling figures, DESIGN.md §11).
+inline constexpr int kBenchReportVersion = 2;
 
 /// count/mean/p50/p90/p99/p999/max of a recorder, as a JSON object.
 inline Json summary_json(const LatencyRecorder& r) {

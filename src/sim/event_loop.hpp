@@ -93,6 +93,14 @@ class EventLoop {
     while (pending_ > 0) step();
   }
 
+  /// Timestamp of the earliest pending event, or SimTime::max() when the
+  /// queue is empty. The conservative-window scheduler in sim/parallel
+  /// keys its fast-forward off this (drain-until probe); may sort a wheel
+  /// tick into the drain buffer, hence non-const.
+  [[nodiscard]] SimTime next_time() {
+    return pending_ == 0 ? SimTime::max() : next_when();
+  }
+
   [[nodiscard]] bool empty() const { return pending_ == 0; }
   [[nodiscard]] std::size_t pending() const { return pending_; }
   /// Total events dispatched over the loop's lifetime (throughput counter).

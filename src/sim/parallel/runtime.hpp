@@ -1,0 +1,224 @@
+// Sharded discrete-event runtime: conservative time windows over N shards.
+//
+// Each shard owns a full EventLoop (and, at the core layer, its slice of
+// the topology, a MsgPool, an RNG stream, and per-shard metrics). Shards
+// advance in lock-step windows
+//
+//     [W, W + lookahead]   where W = min over shards of next_time()
+//
+// with `lookahead` strictly smaller than the minimum latency of any
+// cross-shard link. An event executing at time t during the window sends
+// across shards with arrival = t + link; t ≥ W and link > lookahead give
+// arrival > W + lookahead, i.e. strictly after the window end (asserted
+// in post()). No shard can receive a message for a time it has already
+// executed past, so intra-window execution needs no
+// synchronization at all: plain single-threaded EventLoop runs, lock-free
+// SPSC pushes for cross-shard sends, and two barriers per window.
+//
+// Determinism (the hard requirement, see DESIGN.md §11): for a fixed
+// shard count the results are bit-identical across runs *and across
+// worker-thread counts* because (a) each shard's intra-window execution
+// is sequential on one thread with the same (when, seq) order regardless
+// of which thread claimed it, (b) cross-shard messages are drained only
+// at barriers, by the coordinating thread alone, in fixed
+// (dst shard, src shard, FIFO) order — so the destination loop assigns
+// them the same seq numbers no matter how threads interleaved, and (c)
+// per-shard RNG streams are fixed 2^128-jumps of one seed. With one
+// shard there are no windows to split on (lookahead = ∞ ⇒ one window to
+// the horizon), so the run is the legacy single-threaded loop, exactly.
+//
+// Thread model: run_until() spawns (threads − 1) workers; the calling
+// thread participates, so threads=1 spawns nothing and never touches a
+// barrier. Shards are claimed from an atomic counter (work-stealing over
+// uneven shards) — claiming order affects wall-clock only, never results.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/parallel/barrier.hpp"
+#include "sim/parallel/spsc_queue.hpp"
+
+namespace neutrino::sim::parallel {
+
+template <class Payload>
+class ShardedRuntime {
+ public:
+  struct Config {
+    std::size_t shards = 1;
+    std::size_t threads = 1;
+    /// Maximum window length. Must be strictly less than the minimum
+    /// cross-shard link latency (callers pass min_link − 1ns). max()
+    /// means "no cross-shard traffic allowed": one window to the horizon.
+    SimTime lookahead = SimTime::max();
+    EventLoop::Config loop;
+    std::uint64_t rng_seed = 1;
+    std::size_t channel_capacity = 1024;
+    int spin_budget = -1;  ///< −1: auto (parks immediately if oversubscribed)
+  };
+
+  struct Stats {
+    std::uint64_t windows = 0;          ///< barrier-bounded windows executed
+    std::uint64_t cross_messages = 0;   ///< envelopes drained at barriers
+  };
+
+  explicit ShardedRuntime(const Config& config)
+      : n_(config.shards),
+        threads_(config.threads == 0 ? 1 : config.threads),
+        lookahead_(config.lookahead),
+        start_(threads_, config.spin_budget >= 0
+                             ? config.spin_budget
+                             : PhaseBarrier::default_spin_budget(threads_)),
+        done_(threads_, config.spin_budget >= 0
+                            ? config.spin_budget
+                            : PhaseBarrier::default_spin_budget(threads_)) {
+    assert(n_ >= 1);
+    assert(lookahead_.ns() > 0);
+    loops_.reserve(n_);
+    rngs_.reserve(n_);
+    channels_.reserve(n_ * n_);
+    Rng stream(config.rng_seed);
+    for (std::size_t i = 0; i < n_; ++i) {
+      loops_.emplace_back(config.loop);
+      rngs_.push_back(stream);  // shard i = seed jumped i times
+      stream.jump();
+    }
+    for (std::size_t i = 0; i < n_ * n_; ++i) {
+      channels_.emplace_back(config.channel_capacity);
+    }
+  }
+
+  [[nodiscard]] std::size_t shards() const { return n_; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+  EventLoop& loop(std::size_t shard) { return loops_[shard]; }
+  Rng& rng(std::size_t shard) { return rngs_[shard]; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Total events dispatched across all shard loops.
+  [[nodiscard]] std::uint64_t events_executed() const {
+    std::uint64_t total = 0;
+    for (const EventLoop& l : loops_) total += l.executed();
+    return total;
+  }
+
+  /// Producer-side cross-shard send; called from shard `from`'s events
+  /// during a window. `arrival` must land strictly after the current
+  /// window (guaranteed when the link latency exceeds the lookahead).
+  void post(std::size_t from, std::size_t to, SimTime arrival,
+            Payload payload) {
+    assert(from < n_ && to < n_ && from != to);
+    assert(!in_window_ || arrival > window_end_);
+    channels_[from * n_ + to].push(Entry{arrival, std::move(payload)});
+  }
+
+  /// Run all shards to `horizon` (events at exactly `horizon` still run).
+  /// `deliver(dst_shard, arrival, Payload&&)` is invoked on the calling
+  /// thread at window boundaries for every cross-shard message, in
+  /// deterministic order; it must schedule the payload onto
+  /// loop(dst_shard) at `arrival`.
+  template <class Deliver>
+  void run_until(SimTime horizon, Deliver&& deliver) {
+    const std::size_t n_workers = threads_ - 1;
+    std::vector<std::thread> workers;
+    workers.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+
+    for (;;) {
+      SimTime window_start = SimTime::max();
+      for (EventLoop& l : loops_) {
+        window_start = std::min(window_start, l.next_time());
+      }
+      if (window_start == SimTime::max() || window_start > horizon) break;
+      window_end_ = window_end_for(window_start, horizon);
+      in_window_ = true;
+      ++stats_.windows;
+      claim_.store(0, std::memory_order_relaxed);
+      if (n_workers > 0) start_.arrive_and_wait();
+      work();
+      if (n_workers > 0) done_.arrive_and_wait();
+      in_window_ = false;
+      // Workers are parked between barriers: the coordinating thread owns
+      // every channel and destination loop here. Fixed (dst, src, FIFO)
+      // drain order ⇒ thread-count-independent seq assignment.
+      for (std::size_t dst = 0; dst < n_; ++dst) {
+        for (std::size_t src = 0; src < n_; ++src) {
+          if (src == dst) continue;
+          stats_.cross_messages +=
+              channels_[src * n_ + dst].drain([&](Entry&& e) {
+                deliver(dst, e.arrival, std::move(e.payload));
+              });
+        }
+      }
+    }
+
+    if (n_workers > 0) {
+      stop_.store(true, std::memory_order_relaxed);
+      start_.arrive_and_wait();
+      for (std::thread& w : workers) w.join();
+      stop_.store(false, std::memory_order_relaxed);
+    }
+    // Clock parity with a plain run_until on a single loop: every shard's
+    // now() advances to the horizon (events beyond it stay pending).
+    for (EventLoop& l : loops_) l.run_until(horizon);
+  }
+
+ private:
+  struct Entry {
+    SimTime arrival;
+    Payload payload;
+  };
+
+  [[nodiscard]] SimTime window_end_for(SimTime start, SimTime horizon) const {
+    if (lookahead_ == SimTime::max()) return horizon;
+    if (start.ns() > SimTime::max().ns() - lookahead_.ns()) return horizon;
+    return std::min(start + lookahead_, horizon);
+  }
+
+  void work() {
+    const SimTime end = window_end_;
+    for (std::size_t i = claim_.fetch_add(1, std::memory_order_relaxed);
+         i < n_; i = claim_.fetch_add(1, std::memory_order_relaxed)) {
+      loops_[i].run_until(end);
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      start_.arrive_and_wait();
+      if (stop_.load(std::memory_order_relaxed)) return;
+      work();
+      done_.arrive_and_wait();
+    }
+  }
+
+  const std::size_t n_;
+  const std::size_t threads_;
+  const SimTime lookahead_;
+  std::vector<EventLoop> loops_;
+  std::vector<Rng> rngs_;
+  std::vector<SpscChannel<Entry>> channels_;  // [src * n_ + dst]
+
+  PhaseBarrier start_;
+  PhaseBarrier done_;
+  std::atomic<std::size_t> claim_{0};
+  std::atomic<bool> stop_{false};
+  // Written by the coordinator strictly between barriers; the start
+  // barrier's release/acquire edge publishes it to workers.
+  SimTime window_end_;
+  bool in_window_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace neutrino::sim::parallel
