@@ -1,0 +1,385 @@
+// Chaos campaign driver: randomized failure schedules with an online
+// invariant checker, run differentially across the legacy System, the
+// 1-shard runtime and a multi-shard multithreaded runtime.
+//
+// Per seed: generate a Schedule (workload + CPF crash bursts + targeted
+// replica-set wipes + CTA crashes), run it on every runtime, assert zero
+// invariant violations, and assert the legacy and 1-shard runs agree
+// exactly (started/completed/lost/recovery histogram). A failing seed is
+// shrunk to a minimal reproducer and dumped as a replayable JSON
+// artifact whose path is printed in the error message.
+//
+// Modes:
+//   --seeds=N        campaign size (default 500; --smoke = 50)
+//   --shards=K       multi-shard row's shard count (default 4)
+//   --threads=a,b    worker threads for the multi-shard row (max used)
+//   --inject=stale|prune
+//                    teeth check: plant a deliberate bug (stale RYW serve
+//                    or unaccounted log prune), expect the checker to
+//                    catch it and the shrinker to cut the reproducer to
+//                    <= 10 events; exits non-zero if the bug survives.
+//   --replay=FILE    re-run a dumped reproducer (exits 0 iff it still
+//                    fails, i.e. the artifact reproduces).
+//   --repro-dir=DIR  where reproducer artifacts are written (default ".")
+//   --report=PATH    JSON campaign report (schema neutrino.chaos-campaign)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chaos/generator.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/shrink.hpp"
+
+namespace {
+
+using neutrino::SimTime;
+namespace chaos = neutrino::chaos;
+namespace core = neutrino::core;
+namespace sim = neutrino::sim;
+namespace bench = neutrino::bench;
+namespace obs = neutrino::obs;
+
+struct CampaignArgs {
+  std::uint64_t seeds = 500;
+  std::string inject;      // "", "stale", "prune"
+  std::string replay;      // reproducer path
+  std::string repro_dir = ".";
+};
+
+CampaignArgs parse_campaign(int argc, char** argv, bool smoke) {
+  CampaignArgs a;
+  if (smoke) a.seeds = 50;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) {
+      a.seeds = std::strtoull(std::string{arg.substr(8)}.c_str(), nullptr, 10);
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      a.inject = std::string{arg.substr(9)};
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      a.replay = std::string{arg.substr(9)};
+    } else if (arg.rfind("--repro-dir=", 0) == 0) {
+      a.repro_dir = std::string{arg.substr(12)};
+    }
+  }
+  return a;
+}
+
+core::FaultInjection faults_for(const std::string& inject) {
+  core::FaultInjection f;
+  // A few charges so the first one being burned on an attach-type reply
+  // (whose RYW check legitimately skips) cannot hide the bug.
+  if (inject == "stale") f.cpf_stale_serves = 3;
+  if (inject == "prune") f.cta_unaccounted_prunes = 3;
+  return f;
+}
+
+std::string dump_artifact(const chaos::ScheduleArtifact& art,
+                          const std::string& dir, const char* tag) {
+  std::string path = dir + "/chaos_repro_" + tag + "_seed" +
+                     std::to_string(art.schedule.seed) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "chaos: cannot write reproducer to %s\n",
+                 path.c_str());
+    return path;
+  }
+  out << chaos::to_json(art).dump(2);
+  return path;
+}
+
+/// Aggregates for one runtime configuration across the whole campaign.
+struct RuntimeAgg {
+  std::string name;
+  chaos::RunConfig rc;
+  std::uint64_t violations = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t unquiesced = 0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::map<std::string, std::uint64_t> recoveries;
+
+  void add(const chaos::RunOutcome& o) {
+    violations += o.violation_count;
+    lost += o.lost;
+    if (!o.quiesced) ++unquiesced;
+    started += o.started;
+    completed += o.completed;
+    for (const auto& [k, v] : o.recoveries) recoveries[k] += v;
+  }
+};
+
+bool same_outcome(const chaos::RunOutcome& a, const chaos::RunOutcome& b) {
+  return a.started == b.started && a.completed == b.completed &&
+         a.lost == b.lost && a.violation_count == b.violation_count &&
+         a.recoveries == b.recoveries;
+}
+
+int run_replay(const CampaignArgs& args, const core::CostModel& costs) {
+  std::ifstream in(args.replay);
+  if (!in) {
+    std::fprintf(stderr, "chaos: cannot open %s\n", args.replay.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto art = chaos::artifact_from_string(buf.str());
+  if (!art) {
+    std::fprintf(stderr, "chaos: %s is not a chaos-repro artifact\n",
+                 args.replay.c_str());
+    return 2;
+  }
+  chaos::RunConfig rc;
+  rc.faults = art->faults;
+  const chaos::RunOutcome out = chaos::run_schedule(art->schedule, rc, costs);
+  std::printf("chaos\treplay\tseed=%llu\tevents=%zu\tviolations=%llu\n",
+              static_cast<unsigned long long>(art->schedule.seed),
+              art->schedule.events.size(),
+              static_cast<unsigned long long>(out.violation_count));
+  for (const std::string& v : out.violations) {
+    std::printf("#   %s\n", v.c_str());
+  }
+  // A reproducer artifact is, by construction, a failing schedule: the
+  // replay "passes" when it still fails.
+  return out.violation_count > 0 ? 0 : 1;
+}
+
+int run_teeth(const CampaignArgs& args, const core::CostModel& costs) {
+  chaos::GeneratorConfig gen;
+  gen.regions = 4;
+  gen.ues = 12;
+  gen.actions = 40;
+  gen.failure_bursts = 2;
+  gen.cta_crash_prob = 0.0;  // keep the teeth run about the planted bug
+  chaos::RunConfig rc;
+  rc.faults = faults_for(args.inject);
+  if (rc.faults.cpf_stale_serves == 0 && rc.faults.cta_unaccounted_prunes == 0) {
+    std::fprintf(stderr, "chaos: unknown --inject=%s (stale|prune)\n",
+                 args.inject.c_str());
+    return 2;
+  }
+  const auto fails = [&](const chaos::Schedule& trial) {
+    return chaos::run_schedule(trial, rc, costs).violation_count > 0;
+  };
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    chaos::Schedule s = chaos::generate(gen, seed);
+    if (!fails(s)) continue;
+    chaos::ShrinkStats st;
+    const chaos::Schedule min = chaos::shrink_schedule(s, fails, 400, &st);
+    const std::string path =
+        dump_artifact({min, rc.faults}, args.repro_dir, args.inject.c_str());
+    std::printf(
+        "chaos\tinject=%s\tseed=%llu\tcaught\tshrunk %zu -> %zu events "
+        "(%zu runs)\treproducer=%s\n",
+        args.inject.c_str(), static_cast<unsigned long long>(seed),
+        s.events.size(), min.events.size(), st.runs, path.c_str());
+    if (min.events.size() > 10) {
+      std::fprintf(stderr,
+                   "chaos: FAIL: reproducer still has %zu events (> 10)\n",
+                   min.events.size());
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "chaos: FAIL: planted '%s' bug was not caught in 10 seeds\n",
+               args.inject.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::BenchOptions::parse(argc, argv);
+  const CampaignArgs args = parse_campaign(argc, argv, opts.smoke);
+  const core::FixedCostModel costs;
+
+  if (!args.replay.empty()) return run_replay(args, costs);
+  if (!args.inject.empty()) return run_teeth(args, costs);
+
+  const std::uint32_t shards = opts.shards != 0 ? opts.shards : 4;
+  std::uint32_t threads = 2;
+  for (const std::uint32_t t : opts.threads) threads = std::max(threads, t);
+
+  chaos::GeneratorConfig gen;
+  gen.regions = 8;  // blocks of 2 under 4 shards: CTA crashes stay legal
+  gen.cpfs_per_region = 5;
+  gen.ues = 24;
+  gen.shards = shards;
+  gen.actions = 120;
+  gen.failure_bursts = 6;
+
+  std::printf("# chaos — randomized failure campaign\n");
+  std::printf(
+      "# %llu seeds, %u regions x %u CPFs, %u UEs; runtimes: legacy, "
+      "sharded-1x1, sharded-%ux%u\n",
+      static_cast<unsigned long long>(args.seeds), gen.regions,
+      gen.cpfs_per_region, gen.ues, shards, threads);
+
+  // Placement oracle for targeted replica-set wipes (never run).
+  sim::EventLoop oracle_loop;
+  core::Metrics oracle_metrics;
+  chaos::Schedule proto_schedule;
+  proto_schedule.regions = gen.regions;
+  proto_schedule.cpfs_per_region = gen.cpfs_per_region;
+  core::System oracle(oracle_loop, core::neutrino_policy(),
+                      chaos::make_topology(proto_schedule),
+                      chaos::chaos_proto(), costs, oracle_metrics);
+
+  std::vector<RuntimeAgg> runtimes;
+  {
+    RuntimeAgg legacy;
+    legacy.name = "legacy";
+    runtimes.push_back(std::move(legacy));
+    RuntimeAgg one;
+    one.name = "sharded-1";
+    one.rc.use_sharded = true;
+    runtimes.push_back(std::move(one));
+    RuntimeAgg multi;
+    multi.name = "sharded-" + std::to_string(shards);
+    multi.rc.use_sharded = true;
+    multi.rc.shards = shards;
+    multi.rc.threads = threads;
+    runtimes.push_back(std::move(multi));
+  }
+
+  struct Failure {
+    std::uint64_t seed;
+    std::string runtime;
+    std::uint64_t violations;
+    std::string reproducer;
+    std::string first;
+  };
+  std::vector<Failure> failures;
+  std::uint64_t mismatches = 0;
+  constexpr std::size_t kMaxShrinks = 3;
+
+  for (std::uint64_t seed = 1; seed <= args.seeds; ++seed) {
+    const chaos::Schedule s = chaos::generate(gen, seed, &oracle);
+    std::vector<chaos::RunOutcome> outs;
+    outs.reserve(runtimes.size());
+    for (RuntimeAgg& rt : runtimes) {
+      outs.push_back(chaos::run_schedule(s, rt.rc, costs));
+      rt.add(outs.back());
+    }
+    for (std::size_t i = 0; i < runtimes.size(); ++i) {
+      if (outs[i].violation_count == 0) continue;
+      Failure f;
+      f.seed = seed;
+      f.runtime = runtimes[i].name;
+      f.violations = outs[i].violation_count;
+      f.first = outs[i].violations.empty() ? "" : outs[i].violations.front();
+      if (failures.size() < kMaxShrinks) {
+        const chaos::RunConfig rc = runtimes[i].rc;
+        const auto fails = [&rc, &costs](const chaos::Schedule& trial) {
+          return chaos::run_schedule(trial, rc, costs).violation_count > 0;
+        };
+        const chaos::Schedule min = chaos::shrink_schedule(s, fails, 400);
+        f.reproducer = dump_artifact({min, rc.faults}, args.repro_dir,
+                                     runtimes[i].name.c_str());
+      }
+      std::fprintf(stderr,
+                   "chaos: seed %llu violated %llu invariant(s) on %s%s%s\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(f.violations),
+                   f.runtime.c_str(),
+                   f.reproducer.empty() ? "" : "; reproducer: ",
+                   f.reproducer.c_str());
+      if (!f.first.empty()) {
+        std::fprintf(stderr, "chaos:   first: %s\n", f.first.c_str());
+      }
+      failures.push_back(std::move(f));
+    }
+    // Differential check: the 1-shard runtime is documented to be exactly
+    // the legacy loop — any outcome drift is a runtime-layer bug.
+    if (!same_outcome(outs[0], outs[1])) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "chaos: seed %llu: legacy and sharded-1 outcomes differ\n",
+                   static_cast<unsigned long long>(seed));
+    }
+  }
+
+  for (const RuntimeAgg& rt : runtimes) {
+    std::string rec;
+    for (const auto& [k, v] : rt.recoveries) {
+      rec += k + "=" + std::to_string(v) + " ";
+    }
+    std::printf(
+        "chaos\t%s\tseeds=%llu\tviolations=%llu\tstarted=%llu\t"
+        "completed=%llu\tlost=%llu\tunquiesced=%llu\trecoveries: %s\n",
+        rt.name.c_str(), static_cast<unsigned long long>(args.seeds),
+        static_cast<unsigned long long>(rt.violations),
+        static_cast<unsigned long long>(rt.started),
+        static_cast<unsigned long long>(rt.completed),
+        static_cast<unsigned long long>(rt.lost),
+        static_cast<unsigned long long>(rt.unquiesced), rec.c_str());
+  }
+
+  obs::Json doc;
+  doc["schema"] = "neutrino.chaos-campaign";
+  doc["version"] = 1;
+  doc["figure"] = "chaos";
+  doc["title"] = "Randomized failure campaign with online invariant checker";
+  doc["config"]["seeds"] = args.seeds;
+  doc["config"]["regions"] = gen.regions;
+  doc["config"]["cpfs_per_region"] = gen.cpfs_per_region;
+  doc["config"]["ues"] = gen.ues;
+  doc["config"]["actions"] = gen.actions;
+  doc["config"]["failure_bursts"] = gen.failure_bursts;
+  doc["config"]["window_ns"] = static_cast<std::int64_t>(gen.window.ns());
+  doc["config"]["shards"] = shards;
+  doc["config"]["threads"] = threads;
+  doc["seeds_run"] = args.seeds;
+  doc["mismatches"] = mismatches;
+  obs::Json& rows = doc["per_runtime"];
+  rows.make_array();
+  for (const RuntimeAgg& rt : runtimes) {
+    obs::Json& row = rows.push_back(obs::Json{});
+    row["system"] = rt.name;
+    row["violations"] = rt.violations;
+    row["started"] = rt.started;
+    row["completed"] = rt.completed;
+    row["lost"] = rt.lost;
+    row["unquiesced"] = rt.unquiesced;
+    obs::Json& rec = row["recoveries"];
+    rec.make_object();
+    for (const auto& [k, v] : rt.recoveries) rec[k] = v;
+  }
+  obs::Json& fail_rows = doc["failing_seeds"];
+  fail_rows.make_array();
+  for (const Failure& f : failures) {
+    obs::Json& row = fail_rows.push_back(obs::Json{});
+    row["seed"] = f.seed;
+    row["runtime"] = f.runtime;
+    row["violations"] = f.violations;
+    if (!f.reproducer.empty()) row["reproducer"] = f.reproducer;
+    if (!f.first.empty()) row["first_violation"] = f.first;
+  }
+  const std::string out = doc.dump(2);
+  if (opts.report_path.empty()) {
+    std::printf("%s", out.c_str());
+  } else if (FILE* fp = std::fopen(opts.report_path.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), fp);
+    std::fclose(fp);
+    std::printf("# report: %s\n", opts.report_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write report to %s\n",
+                 opts.report_path.c_str());
+  }
+
+  if (!failures.empty() || mismatches != 0) {
+    std::fprintf(
+        stderr, "chaos: FAIL: %zu failing seed(s), %llu mismatch(es)\n",
+        failures.size(), static_cast<unsigned long long>(mismatches));
+    return 1;
+  }
+  std::printf("# chaos: all %llu seeds clean on every runtime\n",
+              static_cast<unsigned long long>(args.seeds));
+  return 0;
+}

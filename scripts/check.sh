@@ -40,6 +40,16 @@ python3 scripts/validate_report.py "${REPORTS[@]}"
 echo "== trace demo"
 "$BUILD/examples/trace_explore" >/dev/null
 
+# Chaos smoke under the sanitized build: a handful of randomized failure
+# schedules with the online invariant checker armed. Seed count is small
+# here (sanitizers are ~10x); the release stage below runs the wide sweep.
+echo "== chaos smoke ($BUILD)"
+cmake --build "$BUILD" -j --target chaos_campaign
+out="$BUILD/bench/chaos_campaign.smoke-report.json"
+"$BUILD/bench/chaos_campaign" --smoke --seeds=10 \
+  --repro-dir="$BUILD/bench" --report="$out" >/dev/null
+python3 scripts/validate_report.py "$out"
+
 # ThreadSanitizer pass over the multi-threaded sharded runtime (and the
 # event-loop/determinism suites it builds on). TSan and ASan cannot share
 # a build; this is a separate configuration so both always run.
@@ -71,5 +81,15 @@ build-release/bench/scale_throughput --smoke --threads=1,2 --shards=2 \
   --report="$out"
 python3 scripts/validate_report.py "$out"
 python3 scripts/summarize_bench.py "$out"
+
+# Release chaos campaign: 50 seeds across legacy / 1-shard / multi-shard
+# runtimes; any invariant violation shrinks to a replayable reproducer and
+# fails the gate.
+echo "== chaos campaign (build-release)"
+cmake --build build-release -j --target chaos_campaign
+out=build-release/bench/chaos_campaign.smoke-report.json
+build-release/bench/chaos_campaign --seeds=50 --shards=4 --threads=2 \
+  --repro-dir=build-release/bench --report="$out"
+python3 scripts/validate_report.py "$out"
 
 echo "check.sh: all green"

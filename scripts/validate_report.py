@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a neutrino.bench-report JSON document.
+"""Validate a neutrino bench or chaos-campaign JSON document.
 
 Usage:  python3 scripts/validate_report.py REPORT.json [REPORT2.json ...]
 
 A report may be a bare JSON file (--report=PATH) or a bench's stdout with
 the TSV rows still in front (the JSON document starts at the first line
-that is exactly "{"). Checks, per file:
+that is exactly "{"). The document's "schema" key selects the checks.
 
+neutrino.bench-report:
   * schema/version envelope and required keys;
   * every row has a system name; percentile summaries are internally
     consistent (count > 0 implies p50 <= p99 <= max);
@@ -18,6 +19,14 @@ that is exactly "{"). Checks, per file:
     shards/threads/windows/cross_shard_messages and a shard_events list
     with one non-negative entry per shard summing to events_executed.
 
+neutrino.chaos-campaign:
+  * envelope, config, seeds_run and mismatch counters;
+  * one per_runtime row per runtime with non-negative integer
+    violations/started/completed/lost/unquiesced and a recovery-outcome
+    histogram of non-negative integers;
+  * every failing_seeds entry names its seed and runtime, and any
+    reproducer path is a non-empty string.
+
 Exit code 0 when every file passes. No third-party dependencies.
 """
 import json
@@ -25,6 +34,7 @@ import sys
 
 COMPONENTS = ("propagation", "queueing", "service", "serialization", "other")
 SCHEMA = "neutrino.bench-report"
+CAMPAIGN_SCHEMA = "neutrino.chaos-campaign"
 MODES = ("single-thread", "sharded")
 
 
@@ -121,12 +131,59 @@ def check_rows(path, rows, errors, version):
     return decomposed
 
 
+def nonneg_int(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_campaign(path, doc, errors):
+    for k in ("figure", "title", "config", "per_runtime"):
+        if k not in doc:
+            errors.append(f"{path}: missing '{k}'")
+    for k in ("seeds_run", "mismatches"):
+        if not nonneg_int(doc.get(k)):
+            errors.append(f"{path}: '{k}' must be a non-negative integer, "
+                          f"got {doc.get(k)!r}")
+    config = doc.get("config", {})
+    for k in ("seeds", "regions", "cpfs_per_region", "ues", "shards",
+              "threads"):
+        if not nonneg_int(config.get(k)):
+            errors.append(f"{path}: config.{k} = {config.get(k)!r}")
+    rows = doc.get("per_runtime", [])
+    if not rows:
+        errors.append(f"{path}: no per_runtime rows")
+    for i, row in enumerate(rows):
+        where = f"per_runtime[{i}]"
+        if not row.get("system"):
+            errors.append(f"{path}: {where}: missing 'system'")
+        for k in ("violations", "started", "completed", "lost", "unquiesced"):
+            if not nonneg_int(row.get(k)):
+                errors.append(f"{path}: {where}: {k} = {row.get(k)!r}")
+        for name, v in row.get("recoveries", {}).items():
+            if not nonneg_int(v):
+                errors.append(f"{path}: {where}: recoveries[{name}] = {v!r}")
+    for i, row in enumerate(doc.get("failing_seeds", [])):
+        where = f"failing_seeds[{i}]"
+        if not nonneg_int(row.get("seed")):
+            errors.append(f"{path}: {where}: seed = {row.get('seed')!r}")
+        if not row.get("runtime"):
+            errors.append(f"{path}: {where}: missing 'runtime'")
+        if "reproducer" in row and (
+                not isinstance(row["reproducer"], str) or not row["reproducer"]):
+            errors.append(f"{path}: {where}: reproducer = "
+                          f"{row.get('reproducer')!r}")
+
+
 def validate(path):
     errors = []
     try:
         doc = extract_json(open(path).read())
     except (ValueError, json.JSONDecodeError) as e:
         return [f"{path}: cannot parse: {e}"], 0
+    if doc.get("schema") == CAMPAIGN_SCHEMA:
+        if not isinstance(doc.get("version"), int):
+            errors.append(f"{path}: missing integer 'version'")
+        check_campaign(path, doc, errors)
+        return errors, 0
     if doc.get("schema") != SCHEMA:
         errors.append(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
     if not isinstance(doc.get("version"), int):

@@ -1,0 +1,247 @@
+// Minimal recursive-descent JSON reader for chaos reproducer artifacts.
+//
+// obs::Json is deliberately build-only (reports are write-once); replaying
+// a shrunken failure schedule needs the other direction. This parser
+// covers exactly the JSON the schedule dumper emits — objects, arrays,
+// strings with the dumper's escapes, numbers, booleans, null — and keeps
+// integers exact (64-bit) so nanosecond timestamps round-trip.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace neutrino::chaos {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::int64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::int64_t int_or(std::int64_t fallback) const {
+    if (type != Type::kNumber) return fallback;
+    return is_integer ? integer : static_cast<std::int64_t>(number);
+  }
+  [[nodiscard]] double number_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+  [[nodiscard]] std::string_view string_or(std::string_view fallback) const {
+    return type == Type::kString ? std::string_view{string} : fallback;
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    std::optional<JsonValue> v = value();
+    skip_ws();
+    if (!v || pos_ != text_.size()) return std::nullopt;  // trailing junk
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        return make_bool(true);
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        return make_bool(false);
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        return JsonValue{};
+      default: return number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  std::optional<JsonValue> object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = raw_string();
+      if (!key || !consume(':')) return std::nullopt;
+      std::optional<JsonValue> member = value();
+      if (!member) return std::nullopt;
+      v.object.emplace_back(std::move(*key), std::move(*member));
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (consume(']')) return v;
+    for (;;) {
+      std::optional<JsonValue> elem = value();
+      if (!elem) return std::nullopt;
+      v.array.push_back(std::move(*elem));
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> string_value() {
+    std::optional<std::string> s = raw_string();
+    if (!s) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    v.string = std::move(*s);
+    return v;
+  }
+
+  std::optional<std::string> raw_string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          // The dumper only emits \u00XX control escapes; decode the
+          // low byte and reject anything beyond Latin-1.
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          if (code > 0xff) return std::nullopt;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return std::nullopt;
+    const std::string token{text_.substr(start, pos_ - start)};
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    try {
+      if (!fractional) {
+        v.integer = std::stoll(token);
+        v.is_integer = true;
+        v.number = static_cast<double>(v.integer);
+      } else {
+        v.number = std::stod(token);
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parse a complete JSON document; nullopt on any syntax error.
+inline std::optional<JsonValue> parse_json(std::string_view text) {
+  return detail::JsonParser{text}.parse();
+}
+
+}  // namespace neutrino::chaos

@@ -1,0 +1,234 @@
+// Chaos schedule runner: executes one Schedule against either the legacy
+// single-threaded System or a ShardedSystem, with an InvariantChecker
+// riding along, and folds the run into a RunOutcome (violations,
+// recovery-outcome histogram, lost UEs, quiescence).
+//
+// The same Schedule must produce the same protocol behavior on every
+// runtime configuration; the campaign exploits that by running each seed
+// on legacy, 1-shard and multi-shard runtimes and comparing outcomes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/checker.hpp"
+#include "chaos/schedule.hpp"
+#include "core/cost_model.hpp"
+#include "core/metrics.hpp"
+#include "core/policy.hpp"
+#include "core/sharded_system.hpp"
+#include "core/system.hpp"
+#include "core/topology.hpp"
+#include "sim/event_loop.hpp"
+
+namespace neutrino::chaos {
+
+struct RunConfig {
+  /// false → legacy System (no runtime layer at all); true → ShardedSystem
+  /// with `shards` × `threads` (1×1 is the runtime-layer determinism
+  /// reference).
+  bool use_sharded = false;
+  std::uint32_t shards = 1;
+  std::uint32_t threads = 1;
+  core::FaultInjection faults;
+  SimTime audit_interval = SimTime::milliseconds(50);
+};
+
+struct RunOutcome {
+  std::uint64_t violation_count = 0;
+  std::vector<std::string> violations;  // capped per checker
+  /// All loops fully drained at the horizon (pool conservation was
+  /// checkable). Reported, not a violation by itself.
+  bool quiesced = true;
+  std::uint64_t lost = 0;  // UEs still mid-procedure at the horizon
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  /// The frontend's own RYW counter — must agree with the checker.
+  std::uint64_t ryw_metric = 0;
+  /// Fig. 5 recovery-outcome histogram: scenario label → count
+  /// ("failover" / "replay" / "reattach" / "hole").
+  std::map<std::string, std::uint64_t> recoveries;
+};
+
+/// Topology slice a Schedule runs on: one level-2 region so every
+/// inter-region link is the 400µs intra-l2 class (which also keeps the
+/// sharded lookahead large).
+inline core::TopologyConfig make_topology(const Schedule& s) {
+  core::TopologyConfig topo;
+  topo.l2_regions = 1;
+  topo.l1_per_l2 = static_cast<int>(s.regions);
+  topo.cpfs_per_region = static_cast<int>(s.cpfs_per_region);
+  return topo;
+}
+
+/// Campaign protocol knobs: paper semantics, shortened timers so a 3s
+/// window exercises ACK-timeout pruning, fetch give-ups and idle
+/// releases many times over, and the drain tail actually quiesces.
+inline core::ProtocolConfig chaos_proto() {
+  core::ProtocolConfig proto;
+  proto.ack_timeout = SimTime::milliseconds(500);
+  proto.log_scan_interval = SimTime::milliseconds(100);
+  proto.ho_coverage_grace = SimTime::milliseconds(200);
+  proto.fetch_timeout = SimTime::milliseconds(300);
+  return proto;
+}
+
+namespace detail {
+
+inline void apply_ue_event(core::System& system, const Event& e) {
+  switch (e.kind) {
+    case EventKind::kProcedure:
+      system.frontend().start_procedure(UeId(e.ue), e.proc, e.target_region);
+      break;
+    case EventKind::kIdleMove:
+      system.frontend().idle_move(UeId(e.ue), e.target_region);
+      system.frontend().start_procedure(UeId(e.ue), core::ProcedureType::kTau,
+                                        e.target_region);
+      break;
+    case EventKind::kTriggerDownlink:
+      system.trigger_downlink(UeId(e.ue));
+      break;
+    default:
+      break;  // failure injections are routed separately
+  }
+}
+
+/// Periodic audits stop shortly after the last scheduled event plus the
+/// longest protocol timer, so the audit chain never outlives the drain.
+inline SimTime audit_until(const Schedule& s, const core::ProtocolConfig& p) {
+  SimTime last;
+  for (const Event& e : s.events) last = std::max(last, e.at);
+  const SimTime tail = p.ack_timeout + p.ack_timeout;
+  return std::min(last + tail, s.horizon);
+}
+
+inline void harvest(const core::Metrics& metrics, RunOutcome& out) {
+  out.started += metrics.procedures_started;
+  out.completed += metrics.procedures_completed;
+  out.ryw_metric += metrics.ryw_violations;
+  metrics.registry.for_each_counter(
+      [&out](const std::string& key, const obs::Counter& c) {
+        constexpr std::string_view kPrefix = "cta.recoveries{";
+        if (key.rfind(kPrefix.data(), 0) != 0) return;
+        const std::size_t tag = key.find("scenario=");
+        if (tag == std::string::npos) return;
+        const std::size_t begin = tag + 9;
+        std::size_t end = key.find_first_of(",}", begin);
+        if (end == std::string::npos) end = key.size();
+        out.recoveries[key.substr(begin, end - begin)] += c.value();
+      });
+}
+
+inline void harvest_checker(const InvariantChecker& checker, RunOutcome& out) {
+  out.violation_count += checker.violation_count();
+  for (const std::string& v : checker.violations()) {
+    if (out.violations.size() < 64) out.violations.push_back(v);
+  }
+  out.quiesced = out.quiesced && checker.quiesced();
+}
+
+}  // namespace detail
+
+inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
+                               const core::CostModel& costs) {
+  const core::CorePolicy policy = core::neutrino_policy();
+  const core::TopologyConfig topo = make_topology(s);
+  const core::ProtocolConfig proto = chaos_proto();
+  const SimTime until = detail::audit_until(s, proto);
+  RunOutcome out;
+
+  if (!rc.use_sharded) {
+    sim::EventLoop loop;
+    core::Metrics metrics;
+    core::System system(loop, policy, topo, proto, costs, metrics);
+    system.faults() = rc.faults;
+    InvariantChecker checker(system, rc.audit_interval, until);
+    checker.arm();
+    for (std::uint32_t u = 0; u < s.ues; ++u) {
+      const UeId ue{u};
+      system.frontend().preattach(ue, u % s.regions);
+      checker.note_preattach(ue);
+    }
+    for (const Event& e : s.events) {
+      loop.schedule_at(e.at, [&system, e] {
+        switch (e.kind) {
+          case EventKind::kCrashCpf: system.crash_cpf(CpfId(e.cpf)); break;
+          case EventKind::kRestoreCpf: system.restore_cpf(CpfId(e.cpf)); break;
+          case EventKind::kCrashCta: system.crash_cta(e.region); break;
+          default: detail::apply_ue_event(system, e); break;
+        }
+      });
+    }
+    loop.run_until(s.horizon);
+    checker.final_check();
+    detail::harvest_checker(checker, out);
+    detail::harvest(metrics, out);
+    for (std::uint32_t u = 0; u < s.ues; ++u) {
+      if (system.frontend().in_flight(UeId{u})) ++out.lost;
+    }
+    system.detach_invariant_observer();
+    return out;
+  }
+
+  core::ShardedSystem::Config scfg;
+  scfg.policy = policy;
+  scfg.topo = topo;
+  scfg.proto = proto;
+  scfg.shards = rc.shards;
+  scfg.threads = rc.threads;
+  core::ShardedSystem sys(scfg, costs);
+  std::vector<std::unique_ptr<InvariantChecker>> checkers;
+  checkers.reserve(rc.shards);
+  for (std::uint32_t i = 0; i < rc.shards; ++i) {
+    checkers.push_back(std::make_unique<InvariantChecker>(
+        sys.system(i), rc.audit_interval, until));
+    checkers.back()->arm();
+    sys.system(i).faults() = rc.faults;
+  }
+  for (std::uint32_t u = 0; u < s.ues; ++u) {
+    const UeId ue{u};
+    sys.preattach(ue, u % s.regions);
+    checkers[sys.shard_of_ue(ue)]->note_preattach(ue);
+  }
+  for (const Event& e : s.events) {
+    switch (e.kind) {
+      case EventKind::kCrashCpf:
+        sys.schedule_crash(e.at, CpfId(e.cpf));
+        break;
+      case EventKind::kRestoreCpf:
+        sys.schedule_restore(e.at, CpfId(e.cpf));
+        break;
+      case EventKind::kCrashCta:
+        sys.schedule_cta_crash(e.at, e.region);
+        break;
+      default: {
+        core::System& home = sys.system(sys.shard_of_ue(UeId(e.ue)));
+        home.loop().schedule_at(
+            e.at, [&home, e] { detail::apply_ue_event(home, e); });
+        break;
+      }
+    }
+  }
+  sys.run_until(s.horizon);
+  for (auto& checker : checkers) {
+    checker->final_check();
+    detail::harvest_checker(*checker, out);
+  }
+  const core::Metrics merged = sys.merged_metrics();
+  detail::harvest(merged, out);
+  for (std::uint32_t u = 0; u < s.ues; ++u) {
+    const UeId ue{u};
+    if (sys.system(sys.shard_of_ue(ue)).frontend().in_flight(ue)) ++out.lost;
+  }
+  for (std::uint32_t i = 0; i < rc.shards; ++i) {
+    sys.system(i).detach_invariant_observer();
+  }
+  return out;
+}
+
+}  // namespace neutrino::chaos

@@ -1,0 +1,240 @@
+// Chaos schedule grammar: the replayable unit of a chaos campaign run.
+//
+// A Schedule is a sorted list of timestamped events over a fixed topology
+// slice (regions × cpfs_per_region, a preattached UE population): UE
+// workload (procedures, idle moves, downlink triggers) interleaved with
+// failure injections (CPF crash/restore, CTA crash). The same Schedule
+// drives the legacy System and any ShardedRuntime configuration, which is
+// what makes cross-runtime differential checks and shrinking possible.
+//
+// Serialization: schema "neutrino.chaos-repro" v1, dumped via obs::Json
+// and read back with the chaos JsonValue parser, so a failing seed's
+// shrunken reproducer is a self-contained artifact:
+//
+//   { "schema": "neutrino.chaos-repro", "version": 1,
+//     "seed": 7, "regions": 4, "cpfs_per_region": 5, "ues": 24,
+//     "horizon_ns": 8000000000,
+//     "faults": {"cpf_stale_serves": 0, "cta_unaccounted_prunes": 0},
+//     "events": [ {"at_ns": 12000, "kind": "procedure", "ue": 3,
+//                  "proc": "service_request", "target": 0}, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/json_reader.hpp"
+#include "common/clock.hpp"
+#include "common/ids.hpp"
+#include "core/invariants.hpp"
+#include "core/msg.hpp"
+#include "obs/json.hpp"
+
+namespace neutrino::chaos {
+
+enum class EventKind : std::uint8_t {
+  kProcedure,        // frontend().start_procedure(ue, proc, target)
+  kIdleMove,         // frontend().idle_move(ue, target) + a TAU
+  kTriggerDownlink,  // network-originated data for an idle UE (paging)
+  kCrashCpf,         // crash_cpf (notifying: CTAs learn immediately)
+  kRestoreCpf,       // restore_cpf (empty store, bumped epoch)
+  kCrashCta,         // crash_cta: permanent, UEs reroute to (r+1)%regions
+};
+
+constexpr std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kProcedure: return "procedure";
+    case EventKind::kIdleMove: return "idle_move";
+    case EventKind::kTriggerDownlink: return "downlink";
+    case EventKind::kCrashCpf: return "crash_cpf";
+    case EventKind::kRestoreCpf: return "restore_cpf";
+    case EventKind::kCrashCta: return "crash_cta";
+  }
+  return "?";
+}
+
+inline std::optional<EventKind> parse_event_kind(std::string_view s) {
+  for (const EventKind k :
+       {EventKind::kProcedure, EventKind::kIdleMove, EventKind::kTriggerDownlink,
+        EventKind::kCrashCpf, EventKind::kRestoreCpf, EventKind::kCrashCta}) {
+    if (s == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+inline std::optional<core::ProcedureType> parse_procedure_type(
+    std::string_view s) {
+  using core::ProcedureType;
+  for (const ProcedureType p :
+       {ProcedureType::kAttach, ProcedureType::kServiceRequest,
+        ProcedureType::kHandover, ProcedureType::kIntraHandover,
+        ProcedureType::kReattach, ProcedureType::kDetach, ProcedureType::kTau}) {
+    if (s == core::to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
+/// One timestamped action. Field use depends on `kind`:
+///   kProcedure       — ue, proc, target_region (handover destination)
+///   kIdleMove        — ue, target_region (new serving region, then TAU)
+///   kTriggerDownlink — ue
+///   kCrashCpf / kRestoreCpf — cpf
+///   kCrashCta        — region
+struct Event {
+  SimTime at;
+  EventKind kind = EventKind::kProcedure;
+  std::uint64_t ue = 0;
+  core::ProcedureType proc = core::ProcedureType::kServiceRequest;
+  std::uint32_t target_region = 0;
+  std::uint32_t cpf = 0;
+  std::uint32_t region = 0;
+};
+
+struct Schedule {
+  std::uint64_t seed = 0;
+  std::uint32_t regions = 4;
+  std::uint32_t cpfs_per_region = 5;
+  std::uint32_t ues = 24;
+  /// Run the loops to here; generous drain past the last event so every
+  /// timeout fires and the pool-conservation audit is meaningful.
+  SimTime horizon = SimTime::seconds(8);
+  std::vector<Event> events;
+};
+
+/// A schedule plus the deliberate-bug knobs active when it failed — the
+/// complete recipe for reproducing a run.
+struct ScheduleArtifact {
+  Schedule schedule;
+  core::FaultInjection faults;
+};
+
+inline obs::Json to_json(const Event& e) {
+  obs::Json j;
+  j["at_ns"] = static_cast<std::int64_t>(e.at.ns());
+  j["kind"] = to_string(e.kind);
+  switch (e.kind) {
+    case EventKind::kProcedure:
+      j["ue"] = e.ue;
+      j["proc"] = core::to_string(e.proc);
+      j["target"] = e.target_region;
+      break;
+    case EventKind::kIdleMove:
+      j["ue"] = e.ue;
+      j["target"] = e.target_region;
+      break;
+    case EventKind::kTriggerDownlink:
+      j["ue"] = e.ue;
+      break;
+    case EventKind::kCrashCpf:
+    case EventKind::kRestoreCpf:
+      j["cpf"] = e.cpf;
+      break;
+    case EventKind::kCrashCta:
+      j["region"] = e.region;
+      break;
+  }
+  return j;
+}
+
+inline obs::Json to_json(const ScheduleArtifact& art) {
+  const Schedule& s = art.schedule;
+  obs::Json j;
+  j["schema"] = "neutrino.chaos-repro";
+  j["version"] = 1;
+  j["seed"] = s.seed;
+  j["regions"] = s.regions;
+  j["cpfs_per_region"] = s.cpfs_per_region;
+  j["ues"] = s.ues;
+  j["horizon_ns"] = static_cast<std::int64_t>(s.horizon.ns());
+  j["faults"]["cpf_stale_serves"] = art.faults.cpf_stale_serves;
+  j["faults"]["cta_unaccounted_prunes"] = art.faults.cta_unaccounted_prunes;
+  obs::Json& events = j["events"];
+  events.make_array();
+  for (const Event& e : s.events) events.push_back(to_json(e));
+  return j;
+}
+
+inline std::optional<Event> event_from_json(const JsonValue& j) {
+  const JsonValue* kind = j.find("kind");
+  const JsonValue* at = j.find("at_ns");
+  if (!kind || !at) return std::nullopt;
+  const std::optional<EventKind> k = parse_event_kind(kind->string_or(""));
+  if (!k) return std::nullopt;
+  Event e;
+  e.at = SimTime::nanoseconds(at->int_or(0));
+  e.kind = *k;
+  if (const JsonValue* v = j.find("ue")) {
+    e.ue = static_cast<std::uint64_t>(v->int_or(0));
+  }
+  if (const JsonValue* v = j.find("target")) {
+    e.target_region = static_cast<std::uint32_t>(v->int_or(0));
+  }
+  if (const JsonValue* v = j.find("cpf")) {
+    e.cpf = static_cast<std::uint32_t>(v->int_or(0));
+  }
+  if (const JsonValue* v = j.find("region")) {
+    e.region = static_cast<std::uint32_t>(v->int_or(0));
+  }
+  if (e.kind == EventKind::kProcedure) {
+    const JsonValue* proc = j.find("proc");
+    if (!proc) return std::nullopt;
+    const std::optional<core::ProcedureType> p =
+        parse_procedure_type(proc->string_or(""));
+    if (!p) return std::nullopt;
+    e.proc = *p;
+  }
+  return e;
+}
+
+inline std::optional<ScheduleArtifact> artifact_from_json(const JsonValue& j) {
+  const JsonValue* schema = j.find("schema");
+  if (!schema || schema->string_or("") != "neutrino.chaos-repro") {
+    return std::nullopt;
+  }
+  ScheduleArtifact art;
+  Schedule& s = art.schedule;
+  if (const JsonValue* v = j.find("seed")) {
+    s.seed = static_cast<std::uint64_t>(v->int_or(0));
+  }
+  if (const JsonValue* v = j.find("regions")) {
+    s.regions = static_cast<std::uint32_t>(v->int_or(s.regions));
+  }
+  if (const JsonValue* v = j.find("cpfs_per_region")) {
+    s.cpfs_per_region = static_cast<std::uint32_t>(v->int_or(s.cpfs_per_region));
+  }
+  if (const JsonValue* v = j.find("ues")) {
+    s.ues = static_cast<std::uint32_t>(v->int_or(s.ues));
+  }
+  if (const JsonValue* v = j.find("horizon_ns")) {
+    s.horizon = SimTime::nanoseconds(v->int_or(s.horizon.ns()));
+  }
+  if (const JsonValue* faults = j.find("faults")) {
+    if (const JsonValue* v = faults->find("cpf_stale_serves")) {
+      art.faults.cpf_stale_serves = static_cast<std::uint32_t>(v->int_or(0));
+    }
+    if (const JsonValue* v = faults->find("cta_unaccounted_prunes")) {
+      art.faults.cta_unaccounted_prunes =
+          static_cast<std::uint32_t>(v->int_or(0));
+    }
+  }
+  const JsonValue* events = j.find("events");
+  if (!events || events->type != JsonValue::Type::kArray) return std::nullopt;
+  s.events.reserve(events->array.size());
+  for (const JsonValue& ej : events->array) {
+    std::optional<Event> e = event_from_json(ej);
+    if (!e) return std::nullopt;
+    s.events.push_back(*e);
+  }
+  return art;
+}
+
+inline std::optional<ScheduleArtifact> artifact_from_string(
+    std::string_view text) {
+  const std::optional<JsonValue> doc = parse_json(text);
+  if (!doc) return std::nullopt;
+  return artifact_from_json(*doc);
+}
+
+}  // namespace neutrino::chaos

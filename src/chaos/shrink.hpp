@@ -1,0 +1,61 @@
+// Schedule shrinker: delta-debugging over a failing schedule's event
+// list.
+//
+// Given a schedule whose run violates an invariant, repeatedly try to
+// delete chunks of events (halving the chunk size down to single events)
+// and keep any deletion that still fails. The result is a (1-)minimal
+// reproducer: removing any single remaining event makes the failure
+// disappear. The predicate re-runs the whole simulation, so shrinking is
+// bounded by `max_runs` predicate evaluations.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "chaos/schedule.hpp"
+
+namespace neutrino::chaos {
+
+struct ShrinkStats {
+  std::size_t runs = 0;      // predicate evaluations spent
+  std::size_t removed = 0;   // events deleted from the original
+};
+
+/// `fails(const Schedule&) -> bool` must be deterministic and return true
+/// for `s` itself (the caller verifies that before shrinking).
+template <class Fails>
+Schedule shrink_schedule(Schedule s, Fails&& fails, std::size_t max_runs = 400,
+                         ShrinkStats* stats = nullptr) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  std::size_t chunk = std::max<std::size_t>(1, s.events.size() / 2);
+  for (;;) {
+    bool removed_any = false;
+    for (std::size_t start = 0;
+         start < s.events.size() && st.runs < max_runs;) {
+      Schedule trial = s;
+      const std::size_t end = std::min(start + chunk, trial.events.size());
+      trial.events.erase(trial.events.begin() + static_cast<std::ptrdiff_t>(start),
+                         trial.events.begin() + static_cast<std::ptrdiff_t>(end));
+      ++st.runs;
+      if (!trial.events.empty() && fails(trial)) {
+        st.removed += end - start;
+        s = std::move(trial);
+        removed_any = true;
+        // Don't advance: the next chunk shifted into this position.
+      } else {
+        start += chunk;
+      }
+    }
+    if (st.runs >= max_runs) break;
+    if (chunk == 1) {
+      if (!removed_any) break;  // 1-minimal: no single event removable
+    } else {
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+  return s;
+}
+
+}  // namespace neutrino::chaos

@@ -161,6 +161,21 @@ class FlatHashMap {
     used_ = 0;
   }
 
+  /// Diagnostic: longest probe chain over all live keys — the distance
+  /// from a key's home slot to where it resides, plus one. Tombstone
+  /// buildup shows up here long before the load-factor ceiling trips.
+  [[nodiscard]] std::size_t max_probe_length() const {
+    std::size_t worst = 0;
+    if (ctrl_.empty()) return worst;
+    const std::size_t mask = ctrl_.size() - 1;
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] != kFull) continue;
+      const std::size_t home = Hash{}(slots_[i].first) & mask;
+      worst = std::max(worst, ((i - home) & mask) + 1);
+    }
+    return worst;
+  }
+
   /// Pre-size so that `n` elements fit without rehashing.
   void reserve(std::size_t n) {
     std::size_t cap = ctrl_.empty() ? kMinCapacity : ctrl_.size();
@@ -205,9 +220,27 @@ class FlatHashMap {
   }
 
   void erase_at(std::size_t i) {
-    ctrl_[i] = kTomb;
     slots_[i] = Slot{};  // release held resources (shared_ptrs, tasks)
     --size_;
+    const std::size_t mask = ctrl_.size() - 1;
+    if (ctrl_[(i + 1) & mask] != kEmpty) {
+      // A probe chain may continue past this slot: the tombstone must
+      // stay as a bridge.
+      ctrl_[i] = kTomb;
+      return;
+    }
+    // No probe chain extends past this slot, so neither it nor the run of
+    // tombstones ending at it can be mid-chain: reclaim them. Without
+    // this, erase/insert churn at a steady working set keeps growing
+    // `used_` (every erase leaves a tombstone, every insert of a new key
+    // may claim a fresh slot) until grow_if_needed rehashes — probe
+    // chains lengthen toward the load-factor ceiling in between.
+    std::size_t j = i;
+    do {
+      ctrl_[j] = kEmpty;
+      --used_;
+      j = (j + ctrl_.size() - 1) & mask;
+    } while (ctrl_[j] == kTomb);
   }
 
   void grow_if_needed() {

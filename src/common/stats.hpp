@@ -83,17 +83,31 @@ class LatencyRecorder {
   }
 
   void merge(const LatencyRecorder& other) {
+    // Merging an empty recorder — either direction — is identity: the
+    // sharded join folds shards in sequence, and a shard that crashed (or
+    // never recorded) must not flip the survivor's mode or statistics.
+    if (other.empty()) return;
+    if (empty()) {
+      *this = other;  // fresh target adopts the source's mode and data
+      return;
+    }
     if (other.streaming_only_) {
-      // A fresh merge target (e.g. the joined Metrics of a sharded run)
-      // adopts the source's constant-memory mode.
       if (!streaming_only_) {
-        assert(samples_.empty());
+        // A populated exact-mode target must not drop its retained
+        // samples when adopting constant-memory mode: fold them into the
+        // stream first (in sorted order, so the result is independent of
+        // insertion/merge order — see mean()).
+        sort_if_needed();
+        for (const double v : samples_) stream_.add(v);
+        samples_.clear();
+        sorted_ = true;
         streaming_only_ = true;
       }
       stream_.merge(other.stream_);
       return;
     }
     if (streaming_only_) {
+      other.sort_if_needed();
       for (const double v : other.samples_) stream_.add(v);
       return;
     }

@@ -204,7 +204,7 @@ void Cpf::handle_tau(Msg& msg) {
     return;
   }
   ++system_->metrics().state_fetches;
-  pending_handover_[msg.ue] = msg;
+  park_pending_fetch(msg);
   Msg fetch = msg;
   fetch.kind = MsgKind::kStateFetch;
   fetch.state.reset();
@@ -405,7 +405,7 @@ void Cpf::handle_handover_notify(Msg& msg) {
     return;
   }
   ++system_->metrics().state_fetches;
-  pending_handover_[msg.ue] = msg;
+  park_pending_fetch(msg);
 #ifdef NEUTRINO_RYW_DEBUG
   fprintf(stderr, "[FETCH] t=%ld cpf=%u ue=%lu -> holder=%u\n",
           system_->loop().now().ns(), id_.value(), msg.ue.value(),
@@ -677,6 +677,29 @@ void Cpf::complete_procedure(Msg& msg) {
   }
 }
 
+void Cpf::park_pending_fetch(const Msg& original) {
+  pending_handover_[original.ue] = original;
+  // Bound the wait: if the fetch holder dies before replying, nothing
+  // else unparks this UE — the CTA sees the *routed* CPF alive and never
+  // resends, so the UE would hang forever. After the timeout, give up on
+  // the fetch and command Re-Attach (§4.2.4 rule 3's fallback).
+  const UeId ue = original.ue;
+  const std::uint64_t proc_seq = original.proc_seq;
+  const std::uint32_t epoch = epoch_;
+  system_->loop().schedule_after(
+      system_->proto().fetch_timeout, [this, ue, proc_seq, epoch] {
+        if (!alive_ || epoch_ != epoch) return;  // crashed meanwhile
+        const auto it = pending_handover_.find(ue);
+        if (it == pending_handover_.end() ||
+            it->second.proc_seq != proc_seq) {
+          return;  // resolved or superseded while the timer ran
+        }
+        const Msg parked = it->second;
+        pending_handover_.erase(ue);
+        ask_reattach(parked);
+      });
+}
+
 void Cpf::send_checkpoint(UeId ue) {
   if (!alive_) return;
   const auto it = store_.find(ue);
@@ -730,6 +753,13 @@ void Cpf::reply_to_ue(const Msg& request, MsgKind kind) {
   if (const auto it = store_.find(request.ue); it != store_.end() &&
                                                it->second.state) {
     reply.served_proc = it->second.state->last_completed_proc;
+  }
+  if (FaultInjection& faults = system_->faults();
+      faults.cpf_stale_serves > 0 && reply.served_proc > 0) {
+    // Planted bug (teeth test): claim the state predates the UE's last
+    // write, as a stale replica serving past the up-to-date guard would.
+    --faults.cpf_stale_serves;
+    --reply.served_proc;
   }
   system_->cpf_to_cta(id_, request.region, std::move(reply));
 }

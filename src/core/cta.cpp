@@ -227,6 +227,14 @@ void Cta::handle_ack(const Msg& msg) {
 void Cta::prune_procedure(UeRecord& rec, std::uint64_t proc_seq) {
   const auto it = rec.procedures.find(proc_seq);
   if (it == rec.procedures.end()) return;
+  if (FaultInjection& faults = system_->faults();
+      faults.cta_unaccounted_prunes > 0) {
+    // Planted bug (teeth test): drop the entries without adjusting the
+    // byte/message accounting — the audit's recount must catch it.
+    --faults.cta_unaccounted_prunes;
+    rec.procedures.erase(it);
+    return;
+  }
   std::size_t bytes = 0;
   for (const auto& entry : it->second.entries) bytes += entry.bytes;
   account_log(-static_cast<std::ptrdiff_t>(bytes),
@@ -347,10 +355,12 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
                                 {"scenario", scenario}});
   };
 
-  auto command_reattach = [&] {
+  auto command_reattach = [&](const char* scenario) {
     // Failure scenario 3/4: no usable replica — the UE rebuilds a
     // consistent state from scratch (§4.2.5), preserving RYW by never
-    // serving it stale data.
+    // serving it stale data. `scenario` distinguishes *why* no replica was
+    // usable: "reattach" (no live backup at all) vs "hole" (live backups
+    // existed but a pruned/dropped log hole made every one unreplayable).
     Msg cmd;
     cmd.kind = MsgKind::kReattachCommand;
     cmd.ue = ue;
@@ -360,13 +370,13 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
     cmd.is_replay = true;  // recovery-origin: the UE was hit by the crash
     rec.pending_request.reset();
     rec.override_route.reset();
-    count_recovery("reattach");
+    count_recovery(scenario);
     system_->cta_to_ue(std::move(cmd));
   };
 
   switch (policy.recovery) {
     case RecoveryMode::kReattach:
-      command_reattach();
+      command_reattach("reattach");
       return;
 
     case RecoveryMode::kFailover: {
@@ -384,7 +394,7 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
         }
         return;
       }
-      command_reattach();
+      command_reattach("reattach");
       return;
     }
 
@@ -392,6 +402,7 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
       // Neutrino: pick the first live backup whose state can be brought
       // current from the log, replaying what it is missing (§4.2.5,
       // scenarios 1 and 2).
+      bool skipped_hole = false;
       for (const CpfId b : backups(ue)) {
         if (!system_->cpf_alive(b)) continue;
         // A checkpoint ACK vouches for the full state through that
@@ -418,7 +429,10 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
             to_replay.push_back(&entry.msg);
           }
         }
-        if (!replayable) continue;  // try another backup
+        if (!replayable) {
+          skipped_hole = true;  // a live backup lost to a log hole
+          continue;            // try another backup
+        }
         rec.override_route = b;
 #ifdef NEUTRINO_RYW_DEBUG
         fprintf(stderr, "[REC] t=%ld ue=%lu -> backup=%u replay=%zu\n",
@@ -426,8 +440,18 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
                 to_replay.size());
 #endif
         if (to_replay.empty()) {
-          ++metrics.failovers;  // scenario 1: backup already up to date
+          // Scenario 1: the backup already holds the full state — nothing
+          // to replay, so nothing regenerates a response. Promote it and
+          // resend the in-flight request (the per-message failover path);
+          // the pending request stays pending because the resend, not a
+          // replay, produces the response.
+          ++metrics.failovers;
           count_recovery("failover");
+          if (rec.pending_request) {
+            Msg resend = *rec.pending_request;
+            resend.is_replay = true;
+            system_->cta_to_cpf(region_, b, std::move(resend));
+          }
         } else {
           metrics.replays += to_replay.size();
           count_recovery("replay");
@@ -436,11 +460,17 @@ void Cta::recover_ue(UeId ue, UeRecord& rec, CpfId failed) {
             replay.is_replay = true;
             system_->cta_to_cpf(region_, b, std::move(replay));
           }
+          rec.pending_request.reset();  // the replay regenerates the response
         }
-        rec.pending_request.reset();  // the replay regenerates the response
         return;
       }
-      command_reattach();
+      // Every live backup was disqualified by a pruned/dropped log hole
+      // (or no backup is alive at all): fall back to Re-Attach. The
+      // pending request is void either way — the Re-Attach supersedes it —
+      // but it must still be pending when the command is stamped: the
+      // frontend matches the command against the in-flight proc_seq and
+      // discards a zero-stamped one as stale, stranding the UE.
+      command_reattach(skipped_hole ? "hole" : "reattach");
       return;
     }
   }
@@ -481,10 +511,65 @@ void Cta::probe_round() {
 
 void Cta::crash() {
   alive_ = false;
+  // Jobs queued or in service die with the process: without this they
+  // would still fire and forward/log through the dead CTA.
+  pool_.reset();
   // The CTA log is volatile (§4.2.3): everything is lost.
   ues_.clear();
   log_bytes_ = 0;
   log_messages_ = 0;
+}
+
+void Cta::audit_log_invariants(std::vector<std::string>& out) const {
+  const auto tag = [this](std::string what) {
+    return "cta[" + std::to_string(region_) + "] " + std::move(what);
+  };
+  const auto backups_needed =
+      static_cast<std::size_t>(system_->policy().num_backups);
+  std::size_t bytes = 0;
+  std::size_t messages = 0;
+  for (const auto& [ue, rec] : ues_) {
+    if (rec.first_seq_logged == 0 && !rec.procedures.empty()) {
+      out.push_back(tag("ue " + std::to_string(ue.value()) +
+                        ": log entries retained with first_seq_logged=0"));
+    }
+    for (const auto& [seq, plog] : rec.procedures) {
+      if (rec.first_seq_logged != 0 && seq < rec.first_seq_logged) {
+        // An entry below the low-water mark is an un-pruned hole: the
+        // replay path starts at first_seq_logged and would never find it.
+        out.push_back(tag("ue " + std::to_string(ue.value()) + ": proc " +
+                          std::to_string(seq) + " below first_seq_logged " +
+                          std::to_string(rec.first_seq_logged)));
+      }
+      if (seq > rec.last_seq_logged) {
+        out.push_back(tag("ue " + std::to_string(ue.value()) + ": proc " +
+                          std::to_string(seq) + " beyond last_seq_logged " +
+                          std::to_string(rec.last_seq_logged)));
+      }
+      if (plog.entries.empty()) {
+        out.push_back(tag("ue " + std::to_string(ue.value()) + ": proc " +
+                          std::to_string(seq) + " retained with no entries"));
+      }
+      if (backups_needed > 0 && plog.acked_by.size() >= backups_needed) {
+        // handle_ack prunes at the threshold, so a surviving fully-ACKed
+        // procedure means a completed procedure could replay twice.
+        out.push_back(tag("ue " + std::to_string(ue.value()) + ": proc " +
+                          std::to_string(seq) +
+                          " fully ACKed but not pruned"));
+      }
+      for (const auto& entry : plog.entries) {
+        bytes += entry.bytes;
+        ++messages;
+      }
+    }
+  }
+  if (bytes != log_bytes_ || messages != log_messages_) {
+    out.push_back(tag("log accounting drift: counted " +
+                      std::to_string(bytes) + "B/" +
+                      std::to_string(messages) + "msgs, recorded " +
+                      std::to_string(log_bytes_) + "B/" +
+                      std::to_string(log_messages_) + "msgs"));
+  }
 }
 
 }  // namespace neutrino::core

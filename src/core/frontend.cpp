@@ -227,7 +227,9 @@ void Frontend::complete(UeCtx& ctx, UeId ue, const Msg& /*final_msg*/) {
   ctx.in_flight = false;
   ctx.last_completed_seq = ctx.proc_seq;
   ++ctx.completed_procs;
-  (void)ue;
+  if (InvariantObserver* iobs = system_->invariant_observer()) {
+    iobs->on_procedure_complete(ue, ctx.proc_seq, ctx.proc_type);
+  }
 }
 
 void Frontend::begin_reattach(UeCtx& ctx, UeId ue) {
@@ -261,6 +263,12 @@ void Frontend::end_outage(UeCtx& ctx) {
 }
 
 void Frontend::check_ryw(UeCtx& ctx, const Msg& msg) {
+  if (InvariantObserver* iobs = system_->invariant_observer()) {
+    // Fires before the attach-type filter and before complete() advances
+    // the watermark: the checker applies its own RYW rule to its own
+    // independently-tracked last-completed value.
+    iobs->on_final_response(msg.ue, ctx.proc_type, msg.served_proc);
+  }
   // Read-your-Writes (§4.2.1): the state a CPF serves must reflect every
   // procedure this UE has completed. Attach and Re-Attach are themselves
   // the baseline-resetting writes (they rebuild state from scratch), so
@@ -341,6 +349,11 @@ std::uint64_t Frontend::completed(UeId ue) const {
 bool Frontend::is_attached(UeId ue) const {
   const auto it = ues_.find(ue);
   return it != ues_.end() && it->second.attached;
+}
+
+bool Frontend::in_flight(UeId ue) const {
+  const auto it = ues_.find(ue);
+  return it != ues_.end() && it->second.in_flight;
 }
 
 std::uint32_t Frontend::region_of(UeId ue) const {

@@ -7,18 +7,23 @@
 // the event captures a 16-byte Handle instead, which fits the event
 // loop's inline buffer together with the destination pointer.
 //
-// Lifetime contract: delivery callbacks must call `take()` FIRST, before
-// any branch (dead-node drops included). A Handle destroyed without
-// take() — e.g. an event still pending when the loop outlives the System
-// in bench scaffolding — abandons its slot rather than touching the pool,
-// which may already be gone. Abandoned slots are bounded by the number of
-// pending deliveries at teardown; the block storage itself is always
-// reclaimed by ~MsgPool.
+// Lifetime contract: delivery callbacks should call `take()` FIRST,
+// before any branch (dead-node drops included). A Handle destroyed
+// without take() consults the live-pool registry: if its pool still
+// exists (a crashed node's ServerPool dropping queued jobs mid-run), the
+// slot goes back on the free list — otherwise the pool died first (an
+// event still pending when the loop outlives the System in bench
+// scaffolding) and the slot is abandoned; the block storage itself is
+// always reclaimed by ~MsgPool. The registry is only touched by pool
+// construction/destruction and by drop-without-take, never on the
+// per-hop fast path.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -37,15 +42,15 @@ class MsgPool {
         : pool_(std::exchange(other.pool_, nullptr)),
           msg_(std::exchange(other.msg_, nullptr)) {}
     Handle& operator=(Handle&& other) noexcept {
+      drop();
       pool_ = std::exchange(other.pool_, nullptr);
       msg_ = std::exchange(other.msg_, nullptr);
       return *this;
     }
     Handle(const Handle&) = delete;
     Handle& operator=(const Handle&) = delete;
-    // Intentionally does not release the slot: the pool may already be
-    // destroyed when a pending event dies with the loop (see file header).
-    ~Handle() = default;
+    // Releases the slot iff the pool is still alive (see file header).
+    ~Handle() { drop(); }
 
     [[nodiscard]] explicit operator bool() const { return msg_ != nullptr; }
     Msg& operator*() const { return *msg_; }
@@ -65,11 +70,28 @@ class MsgPool {
    private:
     friend class MsgPool;
     Handle(MsgPool* pool, Msg* msg) : pool_(pool), msg_(msg) {}
+
+    /// Slow path for a Handle destroyed without take(): a crashed node's
+    /// ServerPool dropping its queue must not strand the slot forever.
+    void drop() {
+      if (msg_ != nullptr) MsgPool::release_if_alive(pool_, msg_);
+      pool_ = nullptr;
+      msg_ = nullptr;
+    }
+
     MsgPool* pool_ = nullptr;
     Msg* msg_ = nullptr;
   };
 
-  MsgPool() = default;
+  MsgPool() {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(this);
+  }
+  ~MsgPool() {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    auto& pools = registry();
+    pools.erase(std::remove(pools.begin(), pools.end(), this), pools.end());
+  }
   MsgPool(const MsgPool&) = delete;
   MsgPool& operator=(const MsgPool&) = delete;
 
@@ -99,6 +121,27 @@ class MsgPool {
 
  private:
   static constexpr std::size_t kBlockSize = 256;
+
+  // Live-pool registry: lets an abandoned Handle tell "my pool's node
+  // crashed but the pool object lives" (release the slot) apart from "the
+  // pool itself is gone" (leave it). Shards each own a pool but only the
+  // owning thread drops handles into it; the mutex guards just the
+  // registry vector, whose mutations happen outside the parallel phase.
+  static std::mutex& registry_mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::vector<MsgPool*>& registry() {
+    static std::vector<MsgPool*> pools;
+    return pools;
+  }
+  static void release_if_alive(MsgPool* pool, Msg* slot) {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& pools = registry();
+    if (std::find(pools.begin(), pools.end(), pool) != pools.end()) {
+      pool->release(slot);
+    }
+  }
 
   void grow() {
     blocks_.push_back(std::make_unique<Msg[]>(kBlockSize));

@@ -88,6 +88,13 @@ void ShardedSystem::schedule_restore(SimTime at, CpfId id) {
   }
 }
 
+void ShardedSystem::schedule_cta_crash(SimTime at, std::uint32_t region) {
+  for (Shard& shard : shards_) {
+    System* sys = shard.system.get();
+    sys->loop().schedule_at(at, [sys, region] { sys->crash_cta(region); });
+  }
+}
+
 void ShardedSystem::run_until(SimTime horizon) {
   runtime_.run_until(horizon, [this](std::size_t dst, SimTime arrival,
                                      ShardEnvelope&& envelope) {

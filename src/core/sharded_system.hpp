@@ -107,6 +107,11 @@ class ShardedSystem {
   /// time so shadow liveness/epoch state never diverges from the owner's.
   void schedule_crash(SimTime at, CpfId id);
   void schedule_restore(SimTime at, CpfId id);
+  /// CTA crash, mirrored like the CPF injections (each shard's Frontend
+  /// only holds its own UEs, so the shadow crashes just flip liveness).
+  /// Callers must keep the reroute region — (region+1) % regions — on the
+  /// same shard; System::ue_to_cta asserts if a reroute crosses shards.
+  void schedule_cta_crash(SimTime at, std::uint32_t region);
 
   /// Per-shard tracer for differential tests (must outlive the run).
   void attach_tracer(std::uint32_t shard, obs::ProcTracer& tracer) {

@@ -6,12 +6,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/flat_hash_map.hpp"
 #include "common/hashing.hpp"
 #include "core/cost_model.hpp"
+#include "core/invariants.hpp"
 #include "core/metrics.hpp"
 #include "core/msg.hpp"
 #include "core/msg_pool.hpp"
@@ -131,6 +133,7 @@ class Cpf {
   void handle_replication(Msg& msg);
 
   void complete_procedure(Msg& msg);
+  void park_pending_fetch(const Msg& original);
   void send_checkpoint(UeId ue);
   [[nodiscard]] bool context_matches(const Msg& request) const;
   UeState& mutable_state(UeId ue);
@@ -182,6 +185,11 @@ class Cta {
 
   [[nodiscard]] std::size_t log_bytes() const { return log_bytes_; }
   [[nodiscard]] std::size_t log_messages() const { return log_messages_; }
+  /// Chaos audit (DESIGN.md §12): appends a description of every violated
+  /// log invariant — retained entries below first_seq_logged or beyond
+  /// last_seq_logged, empty or fully-ACKed-but-unpruned procedure logs,
+  /// and byte/message accounting that disagrees with a recount.
+  void audit_log_invariants(std::vector<std::string>& out) const;
   [[nodiscard]] sim::ServerPool::Occupancy pool_occupancy() const {
     return pool_.occupancy();
   }
@@ -273,6 +281,9 @@ class Frontend {
   [[nodiscard]] std::uint64_t completed(UeId ue) const;
   [[nodiscard]] bool is_attached(UeId ue) const;
   [[nodiscard]] std::uint32_t region_of(UeId ue) const;
+  /// True while a control procedure is outstanding for the UE — a UE
+  /// still in flight at the end of a chaos run counts as "lost".
+  [[nodiscard]] bool in_flight(UeId ue) const;
 
   /// Data-plane outage accounting for the application studies (§6.6):
   /// [start, end) intervals during which the UE had no usable data path.
@@ -348,6 +359,19 @@ class System {
   void attach_tracer(obs::ProcTracer& tracer) { tracer_ = &tracer; }
   void detach_tracer() { tracer_ = nullptr; }
   [[nodiscard]] obs::ProcTracer* tracer() { return tracer_; }
+
+  /// Chaos-harness attachment points (DESIGN.md §12): the online
+  /// invariant checker observes UE-visible milestones; the fault knobs
+  /// plant deliberate bugs for the checker's teeth tests. Both are inert
+  /// until used; the observer must outlive the attachment.
+  void attach_invariant_observer(InvariantObserver& obs) {
+    invariant_observer_ = &obs;
+  }
+  void detach_invariant_observer() { invariant_observer_ = nullptr; }
+  [[nodiscard]] InvariantObserver* invariant_observer() {
+    return invariant_observer_;
+  }
+  [[nodiscard]] FaultInjection& faults() { return faults_; }
 
   [[nodiscard]] Frontend& frontend() { return *frontend_; }
   [[nodiscard]] Cta& cta(std::uint32_t region) { return *ctas_[region]; }
@@ -450,6 +474,8 @@ class System {
   ShardSpec shard_;
   std::uint32_t regions_per_shard_ = 1;
   obs::ProcTracer* tracer_ = nullptr;
+  InvariantObserver* invariant_observer_ = nullptr;
+  FaultInjection faults_;
   MsgPool msg_pool_;
 
   std::vector<std::unique_ptr<Cta>> ctas_;

@@ -87,6 +87,12 @@ struct ProtocolConfig {
   /// and the data-path outage starts (§3.3: "up to 90% of the application
   /// deadlines can be missed" during slow control handovers).
   SimTime ho_coverage_grace = SimTime::milliseconds(500);
+  /// How long a CPF waits on a parked StateFetch (TAU / FastHandover
+  /// arrival) before giving up and commanding Re-Attach. Without a bound
+  /// the UE hangs forever if the fetch holder crashes while the request
+  /// is in flight: the CTA will not resend (the *routed* CPF is alive)
+  /// and the holder's reply never comes.
+  SimTime fetch_timeout = SimTime::seconds(2);
 };
 
 }  // namespace neutrino::core

@@ -78,6 +78,28 @@ TEST(FlatHashMap, ChurnDoesNotGrowCapacityUnbounded) {
   EXPECT_LE(m.capacity(), 64u);
 }
 
+TEST(FlatHashMap, ChurnKeepsProbeLengthsBounded) {
+  // Regression for tombstone-occupancy drift: a steady working set under
+  // heavy erase/insert churn used to accumulate tombstones between
+  // rehashes, stretching probe chains toward the load-factor ceiling.
+  // With trailing-tombstone reclamation and same-size purge rehashes,
+  // chains stay near what a fresh table of this size would produce.
+  FlatHashMap<std::uint64_t, int> m;
+  constexpr std::uint64_t kLive = 256;
+  for (std::uint64_t k = 0; k < kLive; ++k) m.try_emplace(k, 1);
+  const std::size_t cap = m.capacity();
+  for (std::uint64_t i = 0; i < 200'000; ++i) {
+    ASSERT_TRUE(m.erase(i));
+    m.try_emplace(i + kLive, 1);
+    if (i % 4096 == 0) {
+      ASSERT_LE(m.max_probe_length(), 32u) << "after " << i << " cycles";
+    }
+  }
+  EXPECT_EQ(m.size(), kLive);
+  EXPECT_LE(m.capacity(), cap * 2);
+  EXPECT_LE(m.max_probe_length(), 32u);
+}
+
 TEST(FlatHashMap, IterationSeesExactlyLiveKeys) {
   FlatHashMap<std::uint64_t, std::uint64_t> m;
   std::set<std::uint64_t> expect;

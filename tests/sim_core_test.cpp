@@ -226,17 +226,39 @@ TEST(MsgPool, GrowsByBlocksUnderConcurrentHandles) {
   EXPECT_EQ(pool.outstanding(), 0u);
 }
 
-TEST(MsgPool, AbandonedHandleLeaksSlotNotMemory) {
-  // A Handle destroyed without take() (event died with the loop) must not
-  // touch the pool; its slot stays out of circulation.
+TEST(MsgPool, DroppedHandleReturnsSlotWhilePoolLives) {
+  // A Handle destroyed without take() while its pool is still alive — a
+  // crashed node's ServerPool dropping queued jobs — returns the slot:
+  // without this, every crash permanently leaked the in-service messages
+  // (caught by the chaos checker's pool-conservation invariant).
   core::MsgPool pool;
   {
     auto h = pool.acquire(core::Msg{});
-  }  // dropped without take()
-  EXPECT_EQ(pool.outstanding(), 1u);
-  auto h2 = pool.acquire(core::Msg{});  // pool still serviceable
+  }  // dropped without take(), pool alive
+  EXPECT_EQ(pool.outstanding(), 0u);
+  auto h2 = pool.acquire(core::Msg{});
   (void)h2.take();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.reused(), 1u);  // the dropped slot went back on the list
+}
+
+TEST(MsgPool, HandleOutlivingPoolAbandonsSafely) {
+  // The bench-teardown ordering: the pool dies while an undelivered event
+  // still holds a Handle. The destructor must not touch the dead pool.
+  auto pool = std::make_unique<core::MsgPool>();
+  auto h = pool->acquire(core::Msg{});
+  pool.reset();  // pool gone first
+}  // h destroyed here: must not crash
+
+TEST(MsgPool, MoveAssignReleasesOverwrittenSlot) {
+  core::MsgPool pool;
+  auto a = pool.acquire(core::Msg{});
+  auto b = pool.acquire(core::Msg{});
+  EXPECT_EQ(pool.outstanding(), 2u);
+  a = std::move(b);  // a's original slot is released, not stranded
   EXPECT_EQ(pool.outstanding(), 1u);
+  (void)a.take();
+  EXPECT_EQ(pool.outstanding(), 0u);
 }
 
 TEST(MsgPool, HandleMoveTransfersSlot) {

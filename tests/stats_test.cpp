@@ -57,6 +57,143 @@ TEST(LatencyRecorder, MergeCombinesSamples) {
   EXPECT_DOUBLE_EQ(a.mean(), 2.0);
 }
 
+TEST(OnlineStats, EmptyMergeIsIdentityBothDirections) {
+  OnlineStats filled;
+  for (int i = 1; i <= 5; ++i) filled.add(static_cast<double>(i));
+  const double mean = filled.mean();
+  const double var = filled.variance();
+
+  OnlineStats empty;
+  filled.merge(empty);  // merging an empty source changes nothing
+  EXPECT_EQ(filled.count(), 5u);
+  EXPECT_DOUBLE_EQ(filled.mean(), mean);
+  EXPECT_DOUBLE_EQ(filled.variance(), var);
+  EXPECT_DOUBLE_EQ(filled.min(), 1.0);
+  EXPECT_DOUBLE_EQ(filled.max(), 5.0);
+
+  OnlineStats fresh;
+  fresh.merge(filled);  // empty target adopts the source exactly
+  EXPECT_EQ(fresh.count(), 5u);
+  EXPECT_DOUBLE_EQ(fresh.mean(), mean);
+  EXPECT_DOUBLE_EQ(fresh.variance(), var);
+  EXPECT_DOUBLE_EQ(fresh.min(), 1.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 5.0);
+
+  OnlineStats both;
+  both.merge(OnlineStats{});  // empty-into-empty stays empty, min/max sane
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_DOUBLE_EQ(both.min(), 0.0);
+  EXPECT_DOUBLE_EQ(both.max(), 0.0);
+}
+
+TEST(LatencyRecorder, EmptyMergeIsIdentityBothDirections) {
+  LatencyRecorder filled;
+  filled.add(2.0);
+  filled.add(4.0);
+  LatencyRecorder empty;
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.median(), 3.0);  // percentiles still valid
+
+  LatencyRecorder fresh;
+  fresh.merge(filled);
+  EXPECT_EQ(fresh.count(), 2u);
+  EXPECT_DOUBLE_EQ(fresh.median(), 3.0);
+
+  // An empty streaming-only source (a shard that crashed before recording)
+  // must not flip a populated exact-mode target into streaming mode.
+  LatencyRecorder crashed_shard;
+  crashed_shard.use_streaming_only();
+  filled.merge(crashed_shard);
+  EXPECT_FALSE(filled.streaming_only());
+  EXPECT_DOUBLE_EQ(filled.median(), 3.0);
+
+  // ...and an empty exact-mode target adopts the source's streaming mode.
+  LatencyRecorder stream;
+  stream.use_streaming_only();
+  stream.add(7.0);
+  LatencyRecorder target;
+  target.merge(stream);
+  EXPECT_TRUE(target.streaming_only());
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.mean(), 7.0);
+}
+
+TEST(LatencyRecorder, MixedModeMergePreservesAllSamples) {
+  // Exact target absorbs a streaming source: the retained samples fold
+  // into the stream instead of being dropped.
+  LatencyRecorder exact;
+  for (int i = 1; i <= 4; ++i) exact.add(static_cast<double>(i));
+  LatencyRecorder streaming;
+  streaming.use_streaming_only();
+  for (int i = 5; i <= 8; ++i) streaming.add(static_cast<double>(i));
+  exact.merge(streaming);
+  EXPECT_TRUE(exact.streaming_only());
+  EXPECT_EQ(exact.count(), 8u);
+  EXPECT_DOUBLE_EQ(exact.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(exact.min(), 1.0);
+  EXPECT_DOUBLE_EQ(exact.max(), 8.0);
+
+  // Streaming target absorbs an exact source.
+  LatencyRecorder stream2;
+  stream2.use_streaming_only();
+  stream2.add(10.0);
+  LatencyRecorder exact2;
+  exact2.add(20.0);
+  exact2.add(30.0);
+  stream2.merge(exact2);
+  EXPECT_TRUE(stream2.streaming_only());
+  EXPECT_EQ(stream2.count(), 3u);
+  EXPECT_DOUBLE_EQ(stream2.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(stream2.max(), 30.0);
+}
+
+TEST(LatencyRecorder, MergeAfterCrashMatchesSingleRecorder) {
+  // The sharded join after a mid-run crash: samples recorded on three
+  // shards (one of them empty) must summarize identically to one recorder
+  // that saw every sample, regardless of merge order.
+  Rng rng(7);
+  std::vector<double> all;
+  for (int i = 0; i < 1000; ++i) all.push_back(rng.next_double() * 100.0);
+
+  LatencyRecorder whole;
+  for (const double v : all) whole.add(v);
+
+  LatencyRecorder s0, s1, s2;  // s1 "crashed" before recording anything
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i % 2 == 0 ? s0 : s2).add(all[i]);
+  }
+  LatencyRecorder joined;
+  joined.merge(s0);
+  joined.merge(s1);
+  joined.merge(s2);
+  const auto a = whole.summary();
+  const auto b = joined.summary();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+
+  // Streaming-only shards joined the same way agree on count/mean/max.
+  LatencyRecorder w2;
+  w2.use_streaming_only();
+  for (const double v : all) w2.add(v);
+  LatencyRecorder t0, t1;
+  t0.use_streaming_only();
+  t1.use_streaming_only();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    (i % 2 == 0 ? t0 : t1).add(all[i]);
+  }
+  LatencyRecorder j2;
+  j2.merge(t0);
+  j2.merge(LatencyRecorder{});  // crashed shard
+  j2.merge(t1);
+  EXPECT_EQ(j2.count(), w2.count());
+  EXPECT_NEAR(j2.mean(), w2.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(j2.max(), w2.max());
+}
+
 TEST(LatencyRecorder, InterleavedAddAndQuery) {
   // Queries sort lazily; later adds must re-sort correctly.
   LatencyRecorder r;
