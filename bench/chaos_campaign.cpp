@@ -11,6 +11,8 @@
 //
 // Modes:
 //   --seeds=N        campaign size (default 500; --smoke = 50)
+//   --overload=N     kOverload storms per schedule (default 2; 0 disables
+//                    and restores pre-overload schedules byte-for-byte)
 //   --shards=K       multi-shard row's shard count (default 4)
 //   --threads=a,b    worker threads for the multi-shard row (max used)
 //   --inject=stale|prune
@@ -47,6 +49,7 @@ namespace obs = neutrino::obs;
 
 struct CampaignArgs {
   std::uint64_t seeds = 500;
+  std::uint32_t overload_bursts = 2;  // kOverload storms per schedule
   std::string inject;      // "", "stale", "prune"
   std::string replay;      // reproducer path
   std::string repro_dir = ".";
@@ -59,6 +62,9 @@ CampaignArgs parse_campaign(int argc, char** argv, bool smoke) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--seeds=", 0) == 0) {
       a.seeds = std::strtoull(std::string{arg.substr(8)}.c_str(), nullptr, 10);
+    } else if (arg.rfind("--overload=", 0) == 0) {
+      a.overload_bursts = static_cast<std::uint32_t>(
+          std::strtoul(std::string{arg.substr(11)}.c_str(), nullptr, 10));
     } else if (arg.rfind("--inject=", 0) == 0) {
       a.inject = std::string{arg.substr(9)};
     } else if (arg.rfind("--replay=", 0) == 0) {
@@ -102,6 +108,10 @@ struct RuntimeAgg {
   std::uint64_t unquiesced = 0;
   std::uint64_t started = 0;
   std::uint64_t completed = 0;
+  std::uint64_t attach_sheds = 0;
+  std::uint64_t overload_drops = 0;
+  std::uint64_t nas_retransmissions = 0;
+  std::uint64_t retx_exhausted = 0;
   std::map<std::string, std::uint64_t> recoveries;
 
   void add(const chaos::RunOutcome& o) {
@@ -110,6 +120,10 @@ struct RuntimeAgg {
     if (!o.quiesced) ++unquiesced;
     started += o.started;
     completed += o.completed;
+    attach_sheds += o.attach_sheds;
+    overload_drops += o.overload_drops;
+    nas_retransmissions += o.nas_retransmissions;
+    retx_exhausted += o.retx_exhausted;
     for (const auto& [k, v] : o.recoveries) recoveries[k] += v;
   }
 };
@@ -117,7 +131,10 @@ struct RuntimeAgg {
 bool same_outcome(const chaos::RunOutcome& a, const chaos::RunOutcome& b) {
   return a.started == b.started && a.completed == b.completed &&
          a.lost == b.lost && a.violation_count == b.violation_count &&
-         a.recoveries == b.recoveries;
+         a.recoveries == b.recoveries && a.attach_sheds == b.attach_sheds &&
+         a.overload_drops == b.overload_drops &&
+         a.nas_retransmissions == b.nas_retransmissions &&
+         a.retx_exhausted == b.retx_exhausted;
 }
 
 int run_replay(const CampaignArgs& args, const core::CostModel& costs) {
@@ -209,17 +226,21 @@ int main(int argc, char** argv) {
   chaos::GeneratorConfig gen;
   gen.regions = 8;  // blocks of 2 under 4 shards: CTA crashes stay legal
   gen.cpfs_per_region = 5;
-  gen.ues = 24;
+  // 6 UEs per region: an overload storm (every idle UE of one region at
+  // once) overflows overload_proto's capacity-4 queues, so storms really
+  // shed and retransmit rather than slipping under the bound.
+  gen.ues = 48;
   gen.shards = shards;
   gen.actions = 120;
   gen.failure_bursts = 6;
+  gen.overload_bursts = args.overload_bursts;
 
   std::printf("# chaos — randomized failure campaign\n");
   std::printf(
-      "# %llu seeds, %u regions x %u CPFs, %u UEs; runtimes: legacy, "
-      "sharded-1x1, sharded-%ux%u\n",
+      "# %llu seeds, %u regions x %u CPFs, %u UEs, %u overload storms; "
+      "runtimes: legacy, sharded-1x1, sharded-%ux%u\n",
       static_cast<unsigned long long>(args.seeds), gen.regions,
-      gen.cpfs_per_region, gen.ues, shards, threads);
+      gen.cpfs_per_region, gen.ues, gen.overload_bursts, shards, threads);
 
   // Placement oracle for targeted replica-set wipes (never run).
   sim::EventLoop oracle_loop;
@@ -312,13 +333,18 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "chaos\t%s\tseeds=%llu\tviolations=%llu\tstarted=%llu\t"
-        "completed=%llu\tlost=%llu\tunquiesced=%llu\trecoveries: %s\n",
+        "completed=%llu\tlost=%llu\tunquiesced=%llu\tsheds=%llu\t"
+        "drops=%llu\tretx=%llu\texhausted=%llu\trecoveries: %s\n",
         rt.name.c_str(), static_cast<unsigned long long>(args.seeds),
         static_cast<unsigned long long>(rt.violations),
         static_cast<unsigned long long>(rt.started),
         static_cast<unsigned long long>(rt.completed),
         static_cast<unsigned long long>(rt.lost),
-        static_cast<unsigned long long>(rt.unquiesced), rec.c_str());
+        static_cast<unsigned long long>(rt.unquiesced),
+        static_cast<unsigned long long>(rt.attach_sheds),
+        static_cast<unsigned long long>(rt.overload_drops),
+        static_cast<unsigned long long>(rt.nas_retransmissions),
+        static_cast<unsigned long long>(rt.retx_exhausted), rec.c_str());
   }
 
   obs::Json doc;
@@ -332,6 +358,7 @@ int main(int argc, char** argv) {
   doc["config"]["ues"] = gen.ues;
   doc["config"]["actions"] = gen.actions;
   doc["config"]["failure_bursts"] = gen.failure_bursts;
+  doc["config"]["overload_bursts"] = gen.overload_bursts;
   doc["config"]["window_ns"] = static_cast<std::int64_t>(gen.window.ns());
   doc["config"]["shards"] = shards;
   doc["config"]["threads"] = threads;
@@ -347,6 +374,10 @@ int main(int argc, char** argv) {
     row["completed"] = rt.completed;
     row["lost"] = rt.lost;
     row["unquiesced"] = rt.unquiesced;
+    row["attach_sheds"] = rt.attach_sheds;
+    row["overload_drops"] = rt.overload_drops;
+    row["nas_retransmissions"] = rt.nas_retransmissions;
+    row["retx_exhausted"] = rt.retx_exhausted;
     obs::Json& rec = row["recoveries"];
     rec.make_object();
     for (const auto& [k, v] : rt.recoveries) rec[k] = v;

@@ -30,12 +30,19 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" "${EXCLUDE[@]}"
 
 echo "== bench smoke + report validation"
 REPORTS=()
-for bench in fig07_service_request_pct fig08_attach_pct_uniform; do
+for bench in fig07_service_request_pct fig08_attach_pct_uniform \
+             fig_saturation; do
   out="$BUILD/bench/$bench.smoke-report.json"
   "$BUILD/bench/$bench" --smoke --report="$out" >/dev/null
   REPORTS+=("$out")
 done
 python3 scripts/validate_report.py "${REPORTS[@]}"
+
+# Extended structure-aware codec fuzz under the sanitized build: ctest
+# already ran the suite at its default iteration count; this pass widens
+# the corpus so memory bugs in the decoders meet ASan, not production.
+echo "== codec fuzz (extended, $BUILD)"
+NEUTRINO_FUZZ_ITERS=1200 "$BUILD/tests/codec_fuzz_test" >/dev/null
 
 echo "== trace demo"
 "$BUILD/examples/trace_explore" >/dev/null
@@ -81,6 +88,15 @@ build-release/bench/scale_throughput --smoke --threads=1,2 --shards=2 \
   --report="$out"
 python3 scripts/validate_report.py "$out"
 python3 scripts/summarize_bench.py "$out"
+
+# Saturation sweep at release optimization: the full offered-load knee
+# sweep with overload control armed; validate_report.py enforces the
+# bounded-depth / zero-RYW / >=99%-completion acceptance surface.
+echo "== saturation sweep (build-release)"
+cmake --build build-release -j --target fig_saturation
+out=build-release/bench/fig_saturation.report.json
+build-release/bench/fig_saturation --report="$out" >/dev/null
+python3 scripts/validate_report.py "$out"
 
 # Release chaos campaign: 50 seeds across legacy / 1-shard / multi-shard
 # runtimes; any invariant violation shrinks to a replayable reproducer and

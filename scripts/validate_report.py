@@ -17,7 +17,13 @@ neutrino.bench-report:
     "total" mean within 1% — the tracer's tiling guarantee;
   * version >= 2: every row carries "mode"; "sharded" rows carry
     shards/threads/windows/cross_shard_messages and a shard_events list
-    with one non-negative entry per shard summing to events_executed.
+    with one non-negative entry per shard summing to events_executed;
+  * figure "fig_saturation" additionally: a calibrated knee and queue
+    capacity in config; every overload-control row has zero RYW
+    violations, >= 99% completion and a peak queue depth within 2x the
+    configured capacity; the 2x-knee row actually shed attaches; and the
+    unbounded baseline's peak depth exceeds that bound (the backlog the
+    controller is there to prevent).
 
 neutrino.chaos-campaign:
   * envelope, config, seeds_run and mismatch counters;
@@ -131,6 +137,55 @@ def check_rows(path, rows, errors, version):
     return decomposed
 
 
+def check_saturation(path, doc, errors):
+    config = doc.get("config", {})
+    if not isinstance(config.get("knee_pps"), (int, float)) or \
+            config.get("knee_pps", 0) <= 0:
+        errors.append(f"{path}: config.knee_pps = {config.get('knee_pps')!r}")
+    capacity = config.get("queue_capacity")
+    if not nonneg_int(capacity) or capacity == 0:
+        errors.append(f"{path}: config.queue_capacity = {capacity!r}")
+        return
+    bound = 2 * capacity  # non-UE-control traffic is never shed
+    controlled = [r for r in doc.get("rows", [])
+                  if r.get("system") == "overload-control"]
+    baseline = [r for r in doc.get("rows", [])
+                if r.get("system") == "baseline-unbounded"]
+    if not controlled:
+        errors.append(f"{path}: no overload-control rows")
+        return
+    for row in controlled:
+        where = f"overload-control x={row.get('x')!r}"
+        for k in ("offered_pps", "completion_rate", "attach_shed_rate",
+                  "peak_cta_depth", "peak_cpf_depth", "peak_rss_bytes"):
+            if k not in row:
+                errors.append(f"{path}: {where}: missing '{k}'")
+        if row.get("counters", {}).get("core.ryw_violations", 0) != 0:
+            errors.append(f"{path}: {where}: RYW violations under overload")
+        if row.get("completion_rate", 0) < 0.99:
+            errors.append(f"{path}: {where}: completion "
+                          f"{row.get('completion_rate')!r} < 0.99")
+        peak = max(row.get("peak_cta_depth", 0), row.get("peak_cpf_depth", 0))
+        if peak > bound:
+            errors.append(f"{path}: {where}: peak depth {peak} exceeds "
+                          f"2x capacity ({bound}) — queues not bounded")
+        if not nonneg_int(row.get("peak_rss_bytes")) or \
+                row.get("peak_rss_bytes") == 0:
+            errors.append(f"{path}: {where}: peak_rss_bytes = "
+                          f"{row.get('peak_rss_bytes')!r}")
+    top = max(controlled, key=lambda r: r.get("x", 0))
+    if top.get("counters", {}).get("core.attach_sheds", 0) == 0:
+        errors.append(f"{path}: 2x-knee row shed no attaches — the sweep "
+                      f"never crossed the knee")
+    if not baseline:
+        errors.append(f"{path}: no baseline-unbounded row")
+    for row in baseline:
+        peak = max(row.get("peak_cta_depth", 0), row.get("peak_cpf_depth", 0))
+        if peak <= bound:
+            errors.append(f"{path}: baseline peak depth {peak} within the "
+                          f"controlled bound — contrast lost")
+
+
 def nonneg_int(v):
     return isinstance(v, int) and not isinstance(v, bool) and v >= 0
 
@@ -158,6 +213,10 @@ def check_campaign(path, doc, errors):
         for k in ("violations", "started", "completed", "lost", "unquiesced"):
             if not nonneg_int(row.get(k)):
                 errors.append(f"{path}: {where}: {k} = {row.get(k)!r}")
+        for k in ("attach_sheds", "overload_drops", "nas_retransmissions",
+                  "retx_exhausted"):
+            if k in row and not nonneg_int(row[k]):
+                errors.append(f"{path}: {where}: {k} = {row[k]!r}")
         for name, v in row.get("recoveries", {}).items():
             if not nonneg_int(v):
                 errors.append(f"{path}: {where}: recoveries[{name}] = {v!r}")
@@ -195,6 +254,8 @@ def validate(path):
         errors.append(f"{path}: no rows")
     version = doc.get("version") if isinstance(doc.get("version"), int) else 1
     decomposed = check_rows(path, doc.get("rows", []), errors, version)
+    if doc.get("figure") == "fig_saturation":
+        check_saturation(path, doc, errors)
     return errors, decomposed
 
 

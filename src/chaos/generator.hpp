@@ -43,6 +43,11 @@ struct GeneratorConfig {
   /// Max CPFs crashed per burst (cascading failures).
   std::uint32_t max_cascade = 3;
   double cta_crash_prob = 0.25;
+  /// Signaling storms (kOverload events): each hits one random region.
+  /// Any value > 0 also flips the runner onto bounded queues + NAS
+  /// retransmission for the whole run (see overload_proto). 0 keeps
+  /// generation byte-identical to pre-overload schedules for a seed.
+  std::uint32_t overload_bursts = 0;
   /// Probability of one targeted burst killing a sampled UE's entire
   /// replica set (primary + all backups) — the deterministic way to reach
   /// Fig. 5's "no usable replica" Re-Attach scenario.
@@ -264,6 +269,19 @@ inline Schedule generate(const GeneratorConfig& cfg, std::uint64_t seed,
       e.region = eligible[rng.next_below(eligible.size())];
       s.events.push_back(e);
     }
+  }
+
+  // --- Signaling storms (overload control, DESIGN.md §13) ----------------
+  // Drawn last so overload_bursts == 0 reproduces pre-overload schedules
+  // byte-for-byte. Storms land anywhere in the window, so some overlap
+  // crash intervals — that is the crash-during-retransmit coverage.
+  for (std::uint32_t b = 0; b < cfg.overload_bursts; ++b) {
+    Event e;
+    e.at = uniform_in_window();
+    e.kind = EventKind::kOverload;
+    e.region = static_cast<std::uint32_t>(rng.next_below(regions));
+    e.ue = e.region;  // storm population is homed here -> home-shard routing
+    s.events.push_back(e);
   }
 
   std::stable_sort(s.events.begin(), s.events.end(),

@@ -50,6 +50,12 @@ struct RunOutcome {
   std::uint64_t completed = 0;
   /// The frontend's own RYW counter — must agree with the checker.
   std::uint64_t ryw_metric = 0;
+  // Overload-control accounting (zero unless the schedule has kOverload
+  // events, which arm bounded queues + NAS retransmission).
+  std::uint64_t attach_sheds = 0;
+  std::uint64_t overload_drops = 0;
+  std::uint64_t nas_retransmissions = 0;
+  std::uint64_t retx_exhausted = 0;
   /// Fig. 5 recovery-outcome histogram: scenario label → count
   /// ("failover" / "replay" / "reattach" / "hole").
   std::map<std::string, std::uint64_t> recoveries;
@@ -78,9 +84,31 @@ inline core::ProtocolConfig chaos_proto() {
   return proto;
 }
 
+/// A schedule containing kOverload events runs with the overload-control
+/// machinery armed (DESIGN.md §13): queues small enough that a one-region
+/// storm (ues/regions simultaneous procedures) overflows them, plus NAS
+/// retransmission to re-drive the shed work. Knob values live here, not in
+/// the artifact, so a repro JSON stays a pure schedule.
+inline bool schedule_has_overload(const Schedule& s) {
+  return std::any_of(s.events.begin(), s.events.end(), [](const Event& e) {
+    return e.kind == EventKind::kOverload;
+  });
+}
+
+inline core::ProtocolConfig overload_proto() {
+  core::ProtocolConfig proto = chaos_proto();
+  proto.cta_queue_capacity = 4;
+  proto.cpf_queue_capacity = 4;
+  proto.attach_admission_fraction = 0.5;
+  proto.nas_retx_timeout = SimTime::milliseconds(10);
+  proto.nas_retx_budget = 4;
+  return proto;
+}
+
 namespace detail {
 
-inline void apply_ue_event(core::System& system, const Event& e) {
+inline void apply_ue_event(core::System& system, const Event& e,
+                           std::uint32_t ues, std::uint32_t regions) {
   switch (e.kind) {
     case EventKind::kProcedure:
       system.frontend().start_procedure(UeId(e.ue), e.proc, e.target_region);
@@ -92,6 +120,19 @@ inline void apply_ue_event(core::System& system, const Event& e) {
       break;
     case EventKind::kTriggerDownlink:
       system.trigger_downlink(UeId(e.ue));
+      break;
+    case EventKind::kOverload:
+      // Signaling storm: every idle UE homed in the stormed region fires
+      // at once, in UE order (deterministic on every runtime — the whole
+      // population lives on the region's home shard).
+      for (std::uint64_t u = e.region; u < ues; u += regions) {
+        const UeId ue{u};
+        if (system.frontend().in_flight(ue)) continue;
+        system.frontend().start_procedure(
+            ue, system.frontend().is_attached(ue)
+                    ? core::ProcedureType::kServiceRequest
+                    : core::ProcedureType::kAttach);
+      }
       break;
     default:
       break;  // failure injections are routed separately
@@ -111,6 +152,10 @@ inline void harvest(const core::Metrics& metrics, RunOutcome& out) {
   out.started += metrics.procedures_started;
   out.completed += metrics.procedures_completed;
   out.ryw_metric += metrics.ryw_violations;
+  out.attach_sheds += metrics.attach_sheds;
+  out.overload_drops += metrics.overload_drops;
+  out.nas_retransmissions += metrics.nas_retransmissions;
+  out.retx_exhausted += metrics.retx_exhausted;
   metrics.registry.for_each_counter(
       [&out](const std::string& key, const obs::Counter& c) {
         constexpr std::string_view kPrefix = "cta.recoveries{";
@@ -138,7 +183,8 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
                                const core::CostModel& costs) {
   const core::CorePolicy policy = core::neutrino_policy();
   const core::TopologyConfig topo = make_topology(s);
-  const core::ProtocolConfig proto = chaos_proto();
+  const core::ProtocolConfig proto =
+      schedule_has_overload(s) ? overload_proto() : chaos_proto();
   const SimTime until = detail::audit_until(s, proto);
   RunOutcome out;
 
@@ -155,12 +201,12 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
       checker.note_preattach(ue);
     }
     for (const Event& e : s.events) {
-      loop.schedule_at(e.at, [&system, e] {
+      loop.schedule_at(e.at, [&system, e, ues = s.ues, regions = s.regions] {
         switch (e.kind) {
           case EventKind::kCrashCpf: system.crash_cpf(CpfId(e.cpf)); break;
           case EventKind::kRestoreCpf: system.restore_cpf(CpfId(e.cpf)); break;
           case EventKind::kCrashCta: system.crash_cta(e.region); break;
-          default: detail::apply_ue_event(system, e); break;
+          default: detail::apply_ue_event(system, e, ues, regions); break;
         }
       });
     }
@@ -209,7 +255,9 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
       default: {
         core::System& home = sys.system(sys.shard_of_ue(UeId(e.ue)));
         home.loop().schedule_at(
-            e.at, [&home, e] { detail::apply_ue_event(home, e); });
+            e.at, [&home, e, ues = s.ues, regions = s.regions] {
+              detail::apply_ue_event(home, e, ues, regions);
+            });
         break;
       }
     }

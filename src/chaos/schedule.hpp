@@ -41,6 +41,13 @@ enum class EventKind : std::uint8_t {
   kCrashCpf,         // crash_cpf (notifying: CTAs learn immediately)
   kRestoreCpf,       // restore_cpf (empty store, bumped epoch)
   kCrashCta,         // crash_cta: permanent, UEs reroute to (r+1)%regions
+  kOverload,         // signaling storm: every idle UE homed in `region`
+                     // issues a procedure at once (attached -> service
+                     // request, detached -> attach). Presence of this kind
+                     // switches the run onto bounded queues + NAS
+                     // retransmission (see overload_proto in runner.hpp),
+                     // so the schedule exercises shed/retry/reattach and
+                     // crash-during-retransmit interleavings.
 };
 
 constexpr std::string_view to_string(EventKind k) {
@@ -51,6 +58,7 @@ constexpr std::string_view to_string(EventKind k) {
     case EventKind::kCrashCpf: return "crash_cpf";
     case EventKind::kRestoreCpf: return "restore_cpf";
     case EventKind::kCrashCta: return "crash_cta";
+    case EventKind::kOverload: return "overload";
   }
   return "?";
 }
@@ -58,7 +66,8 @@ constexpr std::string_view to_string(EventKind k) {
 inline std::optional<EventKind> parse_event_kind(std::string_view s) {
   for (const EventKind k :
        {EventKind::kProcedure, EventKind::kIdleMove, EventKind::kTriggerDownlink,
-        EventKind::kCrashCpf, EventKind::kRestoreCpf, EventKind::kCrashCta}) {
+        EventKind::kCrashCpf, EventKind::kRestoreCpf, EventKind::kCrashCta,
+        EventKind::kOverload}) {
     if (s == to_string(k)) return k;
   }
   return std::nullopt;
@@ -82,6 +91,9 @@ inline std::optional<core::ProcedureType> parse_procedure_type(
 ///   kTriggerDownlink — ue
 ///   kCrashCpf / kRestoreCpf — cpf
 ///   kCrashCta        — region
+///   kOverload        — region (stormed region); ue mirrors it so the
+///                      sharded runner routes the event to that region's
+///                      home shard
 struct Event {
   SimTime at;
   EventKind kind = EventKind::kProcedure;
@@ -133,6 +145,10 @@ inline obs::Json to_json(const Event& e) {
       break;
     case EventKind::kCrashCta:
       j["region"] = e.region;
+      break;
+    case EventKind::kOverload:
+      j["region"] = e.region;
+      j["ue"] = e.ue;
       break;
   }
   return j;

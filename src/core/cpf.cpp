@@ -9,7 +9,14 @@ Cpf::Cpf(System& system, CpfId id, std::uint32_t region)
       id_(id),
       region_(region),
       request_pool_(system.loop(), system.topo().cpf_request_cores),
-      sync_pool_(system.loop(), system.topo().cpf_sync_cores) {}
+      sync_pool_(system.loop(), system.topo().cpf_sync_cores) {
+  if (const std::size_t cap = system.proto().cpf_queue_capacity; cap > 0) {
+    request_pool_.set_capacity(
+        cap, static_cast<std::size_t>(
+                 static_cast<double>(cap) *
+                 system.proto().attach_admission_fraction));
+  }
+}
 
 void Cpf::deliver(Msg msg) {
   if (!alive_) return;
@@ -63,6 +70,21 @@ void Cpf::deliver(Msg msg) {
           });
       return;
     default:
+      // Bounded request queue (DESIGN.md §13): only UE-origin ingress is
+      // sheddable — UPF responses, relocation traffic and fetch replies
+      // complete procedures the system already admitted and paid for.
+      if (is_ue_control_message(msg.kind)) {
+        const sim::JobClass cls = job_class_of(msg);
+        if (!request_pool_.admits(cls)) {
+          request_pool_.count_drop(cls);
+          if (cls == sim::JobClass::kAttach) {
+            ++system_->metrics().attach_sheds;
+          } else {
+            ++system_->metrics().overload_drops;
+          }
+          return;
+        }
+      }
       trace_pool(request_pool_);
       request_pool_.submit(
           cost, [this, h = system_->msg_pool().acquire(std::move(msg))]() mutable {

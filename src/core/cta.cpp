@@ -11,6 +11,12 @@ Cta::Cta(System& system, CtaId id, std::uint32_t region)
       pool_(system.loop(), system.topo().cta_cores),
       level1_ring_(system.topo().ring_vnodes),
       level2_ring_(system.topo().ring_vnodes) {
+  if (const std::size_t cap = system.proto().cta_queue_capacity; cap > 0) {
+    pool_.set_capacity(
+        cap, static_cast<std::size_t>(
+                 static_cast<double>(cap) *
+                 system.proto().attach_admission_fraction));
+  }
   const auto& topo = system.topo();
   // Level-1 ring: the CPFs of this region (primary selection).
   for (int i = 0; i < topo.cpfs_per_region; ++i) {
@@ -75,6 +81,19 @@ void Cta::deliver_uplink(Msg msg) {
   if (system_->policy().cta_message_logging &&
       is_ue_control_message(msg.kind)) {
     cost += system_->proto().cta_log_cost;
+  }
+  // Bounded ingress (DESIGN.md §13): admission happens before the log and
+  // before pending-request tracking, so to the protocol a shed message
+  // never arrived — the UE's NAS retransmission re-drives it with backoff.
+  const sim::JobClass cls = job_class_of(msg);
+  if (!pool_.admits(cls)) {
+    pool_.count_drop(cls);
+    if (cls == sim::JobClass::kAttach) {
+      ++system_->metrics().attach_sheds;
+    } else {
+      ++system_->metrics().overload_drops;
+    }
+    return;
   }
   if (obs::ProcTracer* tr = system_->tracer()) {
     const SimTime now = system_->loop().now();

@@ -25,6 +25,7 @@ void Frontend::start_procedure(UeId ue, ProcedureType type,
   ctx.start_time = system_->loop().now();
   ctx.under_failure = false;
   ctx.ho_target = target_region;
+  ctx.retx_attempt = 0;  // fresh procedure, fresh NAS timers
   ++system_->metrics().procedures_started;
   if (obs::ProcTracer* tr = system_->tracer()) {
     tr->begin(ue, ctx.proc_seq, type, ctx.start_time);
@@ -105,6 +106,48 @@ void Frontend::send_uplink(UeCtx& ctx, UeId ue, MsgKind kind) {
   msg.prev_region = ctx.prev_region;
   msg.expected_proc = ctx.last_completed_seq;
   system_->ue_to_cta(via_region, std::move(msg));
+  // A different uplink kind means the flow advanced: its retransmission
+  // ladder starts over. A re-send of the same kind keeps climbing it.
+  if (kind != ctx.last_uplink) ctx.retx_attempt = 0;
+  ctx.last_uplink = kind;
+  arm_retx(ctx, ue, kind);
+}
+
+void Frontend::arm_retx(UeCtx& ctx, UeId ue, MsgKind kind) {
+  const SimTime base = system_->proto().nas_retx_timeout;
+  if (base == SimTime{}) return;
+  // Procedure-final uplinks (the CTA's fire-and-forget set) produce no
+  // response a timer could wait for.
+  if (kind == MsgKind::kAttachComplete || kind == MsgKind::kIcsResponse) {
+    return;
+  }
+  const std::uint64_t seq = ctx.proc_seq;
+  const std::uint32_t attempt = ctx.retx_attempt;
+  // Exponential backoff, clamped well below the shift width.
+  const SimTime delay = base * (std::int64_t{1} << std::min(attempt, 20u));
+  system_->loop().schedule_after(delay, [this, ue, seq, kind, attempt] {
+    const auto it = ues_.find(ue);
+    if (it == ues_.end()) return;
+    UeCtx& ctx = it->second;
+    // Stale timer: the procedure completed or was superseded, the flow
+    // advanced past this uplink, or a newer (re-)transmission took over.
+    if (!ctx.in_flight || ctx.proc_seq != seq || ctx.last_uplink != kind ||
+        ctx.retx_attempt != attempt) {
+      return;
+    }
+    if (attempt >= static_cast<std::uint32_t>(
+                       system_->proto().nas_retx_budget)) {
+      // NAS retry budget exhausted: like an expired 3GPP registration
+      // timer, the UE abandons the exchange and rebuilds state from
+      // scratch — liveness over latency.
+      ++system_->metrics().retx_exhausted;
+      begin_reattach(ctx, ue);
+      return;
+    }
+    ++ctx.retx_attempt;
+    ++system_->metrics().nas_retransmissions;
+    send_uplink(ctx, ue, kind);
+  });
 }
 
 void Frontend::deliver(Msg msg) {
@@ -239,6 +282,7 @@ void Frontend::begin_reattach(UeCtx& ctx, UeId ue) {
   ctx.attached = false;
   ctx.proc_type = ProcedureType::kReattach;
   ctx.proc_seq = ctx.next_proc_seq++;
+  ctx.retx_attempt = 0;  // fresh procedure, fresh NAS timers
   if (obs::ProcTracer* tr = system_->tracer()) {
     // The span keeps covering the procedure under its recovery seq.
     tr->annex(ue, ctx.proc_seq);

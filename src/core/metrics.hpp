@@ -106,6 +106,19 @@ struct Metrics {
   /// CTA in-memory log accounting (Fig. 17).
   std::size_t cta_log_peak_bytes = 0;
 
+  // Overload control (DESIGN.md §13). All zero unless the ProtocolConfig
+  // bounds a queue or enables NAS retransmission.
+  /// New attaches shed at a bounded CTA/CPF queue's attach threshold.
+  obs::Counter& attach_sheds = registry.counter("core.attach_sheds");
+  /// Non-attach jobs rejected at a bounded queue (retransmission re-drives
+  /// them).
+  obs::Counter& overload_drops = registry.counter("core.overload_drops");
+  /// Uplinks re-sent by the frontend's NAS retransmission timer.
+  obs::Counter& nas_retransmissions =
+      registry.counter("core.nas_retransmissions");
+  /// Retry budgets exhausted: the UE gave up and re-attached.
+  obs::Counter& retx_exhausted = registry.counter("core.retx_exhausted");
+
   /// Read-your-Writes violations observed by the frontend. The consistency
   /// protocol's correctness claim is exactly: this stays zero.
   obs::Counter& ryw_violations = registry.counter("core.ryw_violations");

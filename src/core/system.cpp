@@ -341,6 +341,10 @@ void System::sample_occupancy() {
     const auto cta_occ = ctas_[r]->pool_occupancy();
     reg.time_series("cta.pool_depth", labels)
         .push(now, static_cast<double>(cta_occ.depth));
+    reg.histogram("cta.queue_depth", labels)
+        .add(static_cast<double>(cta_occ.depth));
+    reg.gauge("cta.queue_peak_depth", labels)
+        .high_watermark(static_cast<double>(ctas_[r]->pool_peak_depth()));
   }
   for (std::size_t c = 0; c < cpfs_.size(); ++c) {
     if (!owns_region(cpfs_[c]->region())) continue;
@@ -355,6 +359,10 @@ void System::sample_occupancy() {
         .push(now, static_cast<double>(sync.depth));
     reg.time_series("cpf.sync_backlog_us", labels)
         .push(now, static_cast<double>(sync.backlog.ns()) / 1e3);
+    reg.histogram("cpf.request_queue_depth", labels)
+        .add(static_cast<double>(req.depth));
+    reg.gauge("cpf.request_queue_peak_depth", labels)
+        .high_watermark(static_cast<double>(cpfs_[c]->request_peak_depth()));
   }
 }
 

@@ -30,6 +30,27 @@ namespace neutrino::core {
 
 class System;
 
+/// Admission class of an uplink offered to a bounded service pool
+/// (DESIGN.md §13). Only a brand-new attach — not a recovery re-attach,
+/// not a replay, not a mid-attach message — is sheddable; everything
+/// carrying an in-flight procedure keeps the full queue, with handover
+/// and service-request called out per §3's outage sensitivity.
+inline sim::JobClass job_class_of(const Msg& msg) {
+  if (msg.kind == MsgKind::kAttachRequest &&
+      msg.proc_type == ProcedureType::kAttach && !msg.is_replay) {
+    return sim::JobClass::kAttach;
+  }
+  switch (msg.proc_type) {
+    case ProcedureType::kHandover:
+    case ProcedureType::kIntraHandover:
+      return sim::JobClass::kHandover;
+    case ProcedureType::kServiceRequest:
+      return sim::JobClass::kService;
+    default:
+      return sim::JobClass::kControl;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // UPF: data-plane session endpoint (S11 server), one per region.
 // ---------------------------------------------------------------------------
@@ -97,6 +118,14 @@ class Cpf {
   }
   [[nodiscard]] sim::ServerPool::Occupancy sync_occupancy() const {
     return sync_pool_.occupancy();
+  }
+  /// Exact high-watermark of the request queue (overload reporting).
+  [[nodiscard]] std::size_t request_peak_depth() const {
+    return request_pool_.peak_depth();
+  }
+  /// Cumulative request-pool service demand (saturation-knee calibration).
+  [[nodiscard]] SimTime request_busy_time() const {
+    return request_pool_.busy_time();
   }
 
  private:
@@ -192,6 +221,17 @@ class Cta {
   void audit_log_invariants(std::vector<std::string>& out) const;
   [[nodiscard]] sim::ServerPool::Occupancy pool_occupancy() const {
     return pool_.occupancy();
+  }
+  /// Exact high-watermark of the consumer pool (overload reporting).
+  [[nodiscard]] std::size_t pool_peak_depth() const {
+    return pool_.peak_depth();
+  }
+  /// Cumulative service demand placed on this CTA (saturation-knee
+  /// calibration: busy seconds per completed procedure bound the
+  /// sustainable arrival rate).
+  [[nodiscard]] SimTime pool_busy_time() const { return pool_.busy_time(); }
+  [[nodiscard]] std::uint64_t pool_jobs_served() const {
+    return pool_.jobs_served();
   }
 
  private:
@@ -313,6 +353,11 @@ class Frontend {
     SimTime start_time;
     bool under_failure = false;
     std::uint32_t ho_target = 0;
+    // NAS retransmission (DESIGN.md §13): the last uplink sent and how
+    // often it has been re-sent. A pending retx timer is stale unless
+    // (proc_seq, last_uplink, retx_attempt) all still match.
+    MsgKind last_uplink = MsgKind::kAttachRequest;
+    std::uint32_t retx_attempt = 0;
     // Data-path outage tracking.
     SimTime outage_start;
     bool in_outage = false;
@@ -320,6 +365,9 @@ class Frontend {
   };
 
   void send_uplink(UeCtx& ctx, UeId ue, MsgKind kind);
+  /// Arm the NAS retransmission timer for the uplink just sent (no-op when
+  /// proto().nas_retx_timeout is zero or the uplink expects no response).
+  void arm_retx(UeCtx& ctx, UeId ue, MsgKind kind);
   void complete(UeCtx& ctx, UeId ue, const Msg& final_msg);
   void begin_reattach(UeCtx& ctx, UeId ue);
   void begin_outage(UeCtx& ctx);

@@ -93,6 +93,33 @@ struct ProtocolConfig {
   /// is in flight: the CTA will not resend (the *routed* CPF is alive)
   /// and the holder's reply never comes.
   SimTime fetch_timeout = SimTime::seconds(2);
+
+  // --- Overload control (DESIGN.md §13) -----------------------------------
+  // The paper evaluates PCT up to the saturation knee (§6.3); these knobs
+  // model what a production control plane does past it. All default to
+  // "off" so the pre-overload behaviour (unbounded queues, no
+  // retransmission) stays bit-identical for every existing experiment.
+
+  /// Bounded ingress queue at the CTA's forwarding pool (jobs queued + in
+  /// service). 0 = unbounded. When bounded, new attaches are admitted only
+  /// while the pool is below attach_admission_fraction of this.
+  std::size_t cta_queue_capacity = 0;
+  /// Same bound for each CPF's request pool (the sync pool stays
+  /// unbounded: replication completes work already admitted upstream).
+  std::size_t cpf_queue_capacity = 0;
+  /// Fraction of a bounded queue NEW attaches may fill before being shed;
+  /// handover / service-request / in-flight traffic gets the full queue
+  /// (§3's outage-sensitivity ordering).
+  double attach_admission_fraction = 0.75;
+  /// NAS-level retransmission timer at the UE/BS frontend: how long the UE
+  /// waits for the next response of an in-flight procedure before
+  /// re-sending its last uplink. 0 = retransmission disabled. The timeout
+  /// doubles per attempt (exponential backoff), which is what turns a
+  /// dropped/shed message into adaptive backpressure instead of a stall.
+  SimTime nas_retx_timeout = SimTime::nanoseconds(0);
+  /// Retransmissions of one uplink before the UE gives up and re-attaches
+  /// (3GPP NAS timers expire into a fresh registration the same way).
+  int nas_retx_budget = 4;
 };
 
 }  // namespace neutrino::core

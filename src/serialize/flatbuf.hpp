@@ -44,6 +44,7 @@ class BackwardBuffer {
   [[nodiscard]] std::size_t written() const { return buf_.size() - head_; }
 
   void push_bytes(const void* data, std::size_t n) {
+    if (n == 0) return;  // empty payloads may carry a null pointer (UB to memcpy)
     make_room(n);
     head_ -= n;
     std::memcpy(buf_.data() + head_, data, n);

@@ -4,9 +4,19 @@
 // consumer thread): jobs are served in arrival order by the earliest-free
 // core; queueing delay emerges when the offered load exceeds capacity —
 // this is what produces the paper's "saturation regions" (§6.3).
+//
+// Past the saturation knee a real node does not queue forever: its ingress
+// queue is bounded and excess work is dropped at admission. set_capacity()
+// turns that on (DESIGN.md §13): try_submit() then rejects jobs once the
+// pool holds `capacity` jobs — and rejects *new attaches* earlier, at
+// `attach_limit`, so the outage-sensitive classes (handover, service
+// request, in-flight procedure traffic) keep headroom the way §3's
+// sensitivity ordering demands. submit() stays unconditional for work that
+// must never be shed (responses, replication).
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <vector>
 
@@ -16,6 +26,18 @@
 
 namespace neutrino::sim {
 
+/// Admission class of a job offered to a bounded pool. Ordering mirrors
+/// the paper's §3 outage sensitivity: handovers and service requests ride
+/// the full queue; new attaches are shed first (they have no state to
+/// lose and the UE retries with backoff).
+enum class JobClass : std::uint8_t {
+  kControl = 0,   // in-flight procedure traffic — full capacity
+  kHandover = 1,  // full capacity (an expiring coverage grace behind it)
+  kService = 2,   // full capacity (paging responses, app traffic)
+  kAttach = 3,    // new attach — admitted only below attach_limit
+};
+inline constexpr std::size_t kJobClasses = 4;
+
 class ServerPool {
  public:
   ServerPool(EventLoop& loop, int cores)
@@ -23,8 +45,42 @@ class ServerPool {
     assert(cores > 0);
   }
 
+  /// Bound the queue: at most `capacity` jobs queued + in service, with
+  /// kAttach admitted only while the pool holds fewer than `attach_limit`
+  /// jobs. capacity == 0 restores the unbounded legacy model.
+  void set_capacity(std::size_t capacity, std::size_t attach_limit) {
+    capacity_ = capacity;
+    attach_limit_ = std::min(attach_limit, capacity);
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Would a job of this class be admitted right now?
+  [[nodiscard]] bool admits(JobClass cls) const {
+    if (capacity_ == 0) return true;
+    const std::size_t limit =
+        cls == JobClass::kAttach ? attach_limit_ : capacity_;
+    return inflight_ < limit;
+  }
+
+  /// Bounded admission: enqueue like submit() if the class is admitted,
+  /// otherwise count the drop and destroy `done` (releasing whatever it
+  /// owns — e.g. a MsgPool handle). Returns whether the job was accepted.
+  bool try_submit(SimTime service, JobClass cls, EventLoop::Callback done) {
+    if (!admits(cls)) {
+      count_drop(cls);
+      return false;
+    }
+    submit(service, std::move(done));
+    return true;
+  }
+
+  /// Record a rejection decided by the caller (admits() checked first so
+  /// the job — and its tracing — is never materialized).
+  void count_drop(JobClass cls) { ++drops_[static_cast<std::size_t>(cls)]; }
+
   /// Enqueue a job taking `service` time; `done` fires at completion.
-  /// Returns the completion time.
+  /// Returns the completion time. Never rejects — use try_submit for
+  /// load-sheddable work.
   SimTime submit(SimTime service, EventLoop::Callback done) {
     // Earliest-free core serves the job (FIFO across the pool).
     auto it = std::min_element(core_free_.begin(), core_free_.end());
@@ -33,6 +89,7 @@ class ServerPool {
     *it = finish;
     const std::uint64_t my_generation = generation_;
     ++inflight_;
+    peak_depth_ = std::max(peak_depth_, inflight_);
     // The callback parks in a slot map so the scheduled event captures
     // only {this, id, generation} (24 bytes — inline in the event loop).
     // Capturing the InlineTask itself would nest one task inside another
@@ -40,8 +97,14 @@ class ServerPool {
     const std::uint64_t id = next_job_id_++;
     tasks_.try_emplace(id, std::move(done));
     loop_->schedule_at(finish, [this, id, my_generation] {
-      // Jobs in flight when the node crashed are discarded (reset()
-      // already dropped their callbacks from the slot map).
+      // Generation fence: reset() (crash) bumps generation_ and drops all
+      // parked callbacks, so a completion scheduled before the crash must
+      // no-op here. Work lost this way is NOT redelivered by the pool —
+      // redriving is the caller's job (the overload path retransmits
+      // dropped/timed-out procedures from the UE side), and a re-driven
+      // job is a fresh submission under the new generation with its own
+      // slot id, so it delivers exactly once regardless of how many stale
+      // completions from the old incarnation still sit in the event loop.
       if (my_generation != generation_) return;
       --inflight_;
       const auto it = tasks_.find(id);
@@ -65,6 +128,19 @@ class ServerPool {
 
   /// Jobs submitted but not yet completed (queued + in service).
   [[nodiscard]] std::size_t queue_depth() const { return inflight_; }
+  /// High-watermark of queue_depth() over the pool's lifetime (survives
+  /// reset(): the crash does not erase that the depth was reached).
+  [[nodiscard]] std::size_t peak_depth() const { return peak_depth_; }
+
+  /// Jobs rejected at admission, per class / total (bounded pools only).
+  [[nodiscard]] std::uint64_t drops(JobClass cls) const {
+    return drops_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t d : drops_) total += d;
+    return total;
+  }
 
   /// Snapshot for occupancy samplers (obs time series).
   struct Occupancy {
@@ -74,6 +150,9 @@ class ServerPool {
   [[nodiscard]] Occupancy occupancy() const { return {inflight_, backlog()}; }
 
   /// Drop all queued work and invalidate in-flight completions (crash).
+  /// Capacity limits and drop/peak statistics survive — only the work
+  /// dies. See the generation-fence comment in submit() for how post-reset
+  /// retries of the lost jobs interact with stale completions.
   void reset() {
     ++generation_;
     inflight_ = 0;
@@ -95,6 +174,10 @@ class ServerPool {
   std::uint64_t next_job_id_ = 0;
   std::uint64_t generation_ = 0;
   std::size_t inflight_ = 0;
+  std::size_t peak_depth_ = 0;
+  std::size_t capacity_ = 0;      // 0 = unbounded
+  std::size_t attach_limit_ = 0;  // kAttach threshold when bounded
+  std::array<std::uint64_t, kJobClasses> drops_{};
   std::uint64_t jobs_ = 0;
   SimTime busy_accum_;
   SimTime max_backlog_;

@@ -1,0 +1,202 @@
+// Replayable chaos reproducer corpus: every artifact under tests/repros/
+// is a "neutrino.chaos-repro" JSON that once characterized an interesting
+// interleaving (recovery scenarios, overload storms, crash-during-
+// retransmit). Each is replayed through the legacy System and a 2-shard
+// runtime on every ctest run; the corpus must stay parseable, violation-
+// free, and runtime-agreeing forever — a decoder or protocol regression
+// breaks this suite before it breaks a 500-seed campaign.
+//
+// NEUTRINO_REPRO_REGEN=1 rewrites the corpus from its fixed recipes
+// (generator seeds + handcrafted schedules); review the diff like any
+// golden update.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/generator.hpp"
+#include "chaos/runner.hpp"
+#include "chaos/schedule.hpp"
+#include "core/system.hpp"
+
+#ifndef NEUTRINO_REPRO_DIR
+#error "NEUTRINO_REPRO_DIR must point at tests/repros"
+#endif
+
+namespace neutrino::chaos {
+namespace {
+
+const core::FixedCostModel& costs() {
+  static const core::FixedCostModel model{SimTime::microseconds(10)};
+  return model;
+}
+
+/// Placement oracle over the corpus topology (4 regions x 5 CPFs).
+core::System& oracle() {
+  static sim::EventLoop loop;
+  static core::Metrics metrics;
+  static Schedule shape = [] {
+    Schedule s;
+    s.regions = 4;
+    return s;
+  }();
+  static core::System system(loop, core::neutrino_policy(),
+                             make_topology(shape), chaos_proto(), costs(),
+                             metrics);
+  return system;
+}
+
+GeneratorConfig corpus_gen() {
+  GeneratorConfig gen;
+  gen.regions = 4;
+  gen.cpfs_per_region = 5;
+  gen.ues = 24;  // 6 per region: a one-region storm overflows capacity 4
+  gen.shards = 2;
+  gen.actions = 60;
+  gen.failure_bursts = 4;
+  return gen;
+}
+
+/// Handcrafted crash-during-retransmit schedule: an overload storm floods
+/// region 0's bounded queues, then the region's primary CPF dies while
+/// shed uplinks sit on their retransmission timers.
+Schedule crash_during_retransmit() {
+  Schedule s;
+  s.seed = 9001;
+  s.regions = 4;
+  s.cpfs_per_region = 5;
+  s.ues = 24;
+  s.horizon = SimTime::seconds(8);
+  Event storm;
+  storm.at = SimTime::milliseconds(10);
+  storm.kind = EventKind::kOverload;
+  storm.region = 0;
+  storm.ue = 0;
+  s.events.push_back(storm);
+  Event crash;
+  crash.at = SimTime::milliseconds(10) + SimTime::microseconds(60);
+  crash.kind = EventKind::kCrashCpf;
+  crash.cpf = oracle().primary_cpf_for(UeId{0}, 0).value();
+  s.events.push_back(crash);
+  Event restore;
+  restore.at = SimTime::milliseconds(400);
+  restore.kind = EventKind::kRestoreCpf;
+  restore.cpf = crash.cpf;
+  s.events.push_back(restore);
+  Event second_storm;  // shed-then-reattach pressure on the recovered node
+  second_storm.at = SimTime::milliseconds(500);
+  second_storm.kind = EventKind::kOverload;
+  second_storm.region = 0;
+  second_storm.ue = 0;
+  s.events.push_back(second_storm);
+  return s;
+}
+
+/// The corpus recipes, by artifact filename (stable — they ARE the corpus).
+std::vector<std::pair<std::string, Schedule>> corpus_recipes() {
+  std::vector<std::pair<std::string, Schedule>> out;
+  out.emplace_back("failures_seed7.json", generate(corpus_gen(), 7, &oracle()));
+  GeneratorConfig overload = corpus_gen();
+  overload.overload_bursts = 3;
+  out.emplace_back("overload_seed11.json",
+                   generate(overload, 11, &oracle()));
+  GeneratorConfig mixed = corpus_gen();
+  mixed.overload_bursts = 2;
+  mixed.failure_bursts = 6;
+  out.emplace_back("overload_failures_seed42.json",
+                   generate(mixed, 42, &oracle()));
+  out.emplace_back("crash_during_retransmit.json", crash_during_retransmit());
+  return out;
+}
+
+std::filesystem::path repro_dir() { return NEUTRINO_REPRO_DIR; }
+
+TEST(ChaosReproCorpus, CorpusMatchesRecipes) {
+  // The artifacts are derived files; this test regenerates them in memory
+  // and (a) rewrites them under NEUTRINO_REPRO_REGEN=1, (b) otherwise
+  // checks byte equality, so corpus drift is always intentional.
+  const bool regen = std::getenv("NEUTRINO_REPRO_REGEN") != nullptr;
+  if (regen) std::filesystem::create_directories(repro_dir());
+  for (const auto& [name, schedule] : corpus_recipes()) {
+    const std::string text =
+        to_json({schedule, core::FaultInjection{}}).dump(2);
+    const auto path = repro_dir() / name;
+    if (regen) {
+      std::ofstream out(path);
+      out << text << "\n";
+      continue;
+    }
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << path << " missing — run with NEUTRINO_REPRO_REGEN=1";
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string stored = buf.str();
+    if (!stored.empty() && stored.back() == '\n') stored.pop_back();
+    EXPECT_EQ(stored, text) << name << " drifted from its recipe";
+  }
+}
+
+TEST(ChaosReproCorpus, EveryArtifactReplaysCleanOnBothRuntimes) {
+  if (std::getenv("NEUTRINO_REPRO_REGEN") != nullptr) {
+    GTEST_SKIP() << "regenerating corpus";
+  }
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(repro_dir())) {
+    if (entry.path().extension() != ".json") continue;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto art = artifact_from_string(buf.str());
+    ASSERT_TRUE(art.has_value()) << entry.path() << " failed to parse";
+    ++replayed;
+
+    RunConfig legacy;
+    legacy.faults = art->faults;
+    const RunOutcome lo = run_schedule(art->schedule, legacy, costs());
+    EXPECT_EQ(lo.violation_count, 0u)
+        << entry.path() << ": "
+        << (lo.violations.empty() ? "" : lo.violations.front());
+
+    RunConfig two = legacy;
+    two.use_sharded = true;
+    two.shards = 2;
+    two.threads = 2;
+    const RunOutcome t2 = run_schedule(art->schedule, two, costs());
+    EXPECT_EQ(t2.violation_count, 0u)
+        << entry.path() << ": "
+        << (t2.violations.empty() ? "" : t2.violations.front());
+
+    // Partitioning may not change what happened, only where it ran.
+    EXPECT_EQ(lo.started, t2.started) << entry.path();
+    EXPECT_EQ(lo.completed, t2.completed) << entry.path();
+    EXPECT_EQ(lo.recoveries, t2.recoveries) << entry.path();
+  }
+  EXPECT_GE(replayed, 4u) << "corpus unexpectedly small";
+}
+
+TEST(ChaosReproCorpus, OverloadArtifactsActuallyOverload) {
+  if (std::getenv("NEUTRINO_REPRO_REGEN") != nullptr) {
+    GTEST_SKIP() << "regenerating corpus";
+  }
+  // Teeth for the corpus itself: the overload artifacts must really drive
+  // the bounded queues past capacity (otherwise they regress into plain
+  // failure schedules as protocol costs drift).
+  for (const auto& [name, schedule] : corpus_recipes()) {
+    if (!schedule_has_overload(schedule)) continue;
+    RunConfig legacy;
+    const RunOutcome out = run_schedule(schedule, legacy, costs());
+    EXPECT_EQ(out.violation_count, 0u) << name;
+    EXPECT_GT(out.attach_sheds + out.overload_drops, 0u)
+        << name << ": storm no longer overflows the bounded queues";
+    EXPECT_GT(out.nas_retransmissions, 0u)
+        << name << ": nothing was re-driven, retx path untested";
+  }
+}
+
+}  // namespace
+}  // namespace neutrino::chaos

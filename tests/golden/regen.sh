@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate the pinned golden vectors from the current codecs.
+#
+# Run this ONLY after an intentional wire-format change, then review the
+# diff: each changed file is one message x codec whose bytes moved.
+#
+# Usage: tests/golden/regen.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+BUILD="${1:-build}"
+BIN="$BUILD/tests/golden_vector_test"
+[ -x "$BIN" ] || {
+  echo "error: $BIN not built (cmake --build $BUILD --target golden_vector_test)" >&2
+  exit 1
+}
+NEUTRINO_GOLDEN_REGEN=1 "$BIN" \
+  --gtest_filter='GoldenVectors.EncodedBytesMatchPinnedVectors'
+echo "regenerated $(ls tests/golden/*.hex | wc -l) vectors under tests/golden/"

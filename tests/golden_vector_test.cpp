@@ -1,0 +1,137 @@
+// Golden-vector regression layer: the canonical wire bytes of the five
+// paper messages (Figs. 19-20) are pinned under tests/golden/ for every
+// codec, including the svtable (OptimizedFlatBuffers) mode. Two directions
+// are locked:
+//
+//   * encoder stability — today's encoder must reproduce the pinned bytes
+//     bit-for-bit (log sizes, replay artifacts, and the Fig. 19/20 size
+//     curves all depend on encoding determinism across versions);
+//   * decoder compatibility — the pinned bytes must still decode to the
+//     original message, so buffers written by an old build stay readable.
+//
+// An intentional wire-format change regenerates the vectors with
+// tests/golden/regen.sh (sets NEUTRINO_GOLDEN_REGEN=1); the diff then
+// shows exactly which message x format pairs changed shape.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "s1ap/samples.hpp"
+#include "serialize/codec.hpp"
+
+#ifndef NEUTRINO_GOLDEN_DIR
+#error "NEUTRINO_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace neutrino {
+namespace {
+
+/// Filename-safe codec tag (stable — these name the pinned files).
+constexpr std::string_view slug(ser::WireFormat f) {
+  switch (f) {
+    case ser::WireFormat::kAsn1Per: return "asn1per";
+    case ser::WireFormat::kFlatBuffers: return "flatbuf";
+    case ser::WireFormat::kOptimizedFlatBuffers: return "flatbuf_opt";
+    case ser::WireFormat::kProtobuf: return "protobuf";
+    case ser::WireFormat::kFastCdr: return "fastcdr";
+    case ser::WireFormat::kLcm: return "lcm";
+    case ser::WireFormat::kFlexBuffers: return "flexbuf";
+  }
+  return "unknown";
+}
+
+std::filesystem::path golden_path(std::string_view message,
+                                  ser::WireFormat format) {
+  return std::filesystem::path(NEUTRINO_GOLDEN_DIR) /
+         (std::string(message) + "." + std::string(slug(format)) + ".hex");
+}
+
+bool regen_requested() {
+  return std::getenv("NEUTRINO_GOLDEN_REGEN") != nullptr;
+}
+
+/// Read a pinned vector; returns empty on missing file (asserted upstream).
+std::string read_hex(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::string hex;
+  in >> hex;  // single whitespace-delimited token of lowercase hex
+  return hex;
+}
+
+Bytes from_hex(std::string_view hex) {
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+    auto nibble = [](char c) -> Byte {
+      return static_cast<Byte>(c <= '9' ? c - '0' : c - 'a' + 10);
+    };
+    out.push_back(static_cast<Byte>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+TEST(GoldenVectors, EncodedBytesMatchPinnedVectors) {
+  const bool regen = regen_requested();
+  if (regen) {
+    std::filesystem::create_directories(NEUTRINO_GOLDEN_DIR);
+  }
+  for (const auto& named : s1ap::samples::figure19_messages()) {
+    for (const auto format : ser::kAllWireFormats) {
+      const std::string hex = to_hex(ser::encode(format, named.pdu));
+      const auto path = golden_path(named.name, format);
+      if (regen) {
+        std::ofstream out(path);
+        out << hex << "\n";
+        continue;
+      }
+      ASSERT_TRUE(std::filesystem::exists(path))
+          << path << " missing — run tests/golden/regen.sh";
+      EXPECT_EQ(hex, read_hex(path))
+          << named.name << " x " << ser::to_string(format)
+          << ": encoder output diverged from the pinned vector; if the "
+             "wire-format change is intentional run tests/golden/regen.sh";
+    }
+  }
+}
+
+TEST(GoldenVectors, PinnedBytesStillDecodeToOriginal) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating, nothing to check";
+  for (const auto& named : s1ap::samples::figure19_messages()) {
+    for (const auto format : ser::kAllWireFormats) {
+      const auto path = golden_path(named.name, format);
+      ASSERT_TRUE(std::filesystem::exists(path))
+          << path << " missing — run tests/golden/regen.sh";
+      const Bytes wire = from_hex(read_hex(path));
+      auto decoded = ser::decode<s1ap::S1apPdu>(format, wire);
+      ASSERT_TRUE(decoded.is_ok())
+          << named.name << " x " << ser::to_string(format) << ": "
+          << "pinned bytes no longer decode";
+      EXPECT_EQ(*decoded, named.pdu)
+          << named.name << " x " << ser::to_string(format)
+          << ": decoder no longer reconstructs the original message";
+    }
+  }
+}
+
+TEST(GoldenVectors, SvtablePinnedNoLargerThanStandardFlatBuffers) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating, nothing to check";
+  // The svtable optimization's whole claim (§4.4) is smaller tables; the
+  // pinned vectors must preserve that relation for every figure message.
+  for (const auto& named : s1ap::samples::figure19_messages()) {
+    const auto opt = read_hex(
+        golden_path(named.name, ser::WireFormat::kOptimizedFlatBuffers));
+    const auto std_fb =
+        read_hex(golden_path(named.name, ser::WireFormat::kFlatBuffers));
+    ASSERT_FALSE(opt.empty());
+    ASSERT_FALSE(std_fb.empty());
+    EXPECT_LE(opt.size(), std_fb.size()) << named.name;
+  }
+}
+
+}  // namespace
+}  // namespace neutrino

@@ -35,6 +35,19 @@ core::ProtocolConfig test_proto() {
   return proto;
 }
 
+/// Overload-control knobs armed (DESIGN.md §13): queues small enough that
+/// the 1000pps storm overflows them, attach admission throttled, and NAS
+/// retransmission re-driving everything that was shed or dropped.
+core::ProtocolConfig overload_test_proto() {
+  core::ProtocolConfig proto = test_proto();
+  proto.cta_queue_capacity = 6;
+  proto.cpf_queue_capacity = 6;
+  proto.attach_admission_fraction = 0.5;
+  proto.nas_retx_timeout = SimTime::milliseconds(20);
+  proto.nas_retx_budget = 6;
+  return proto;
+}
+
 /// The shared scenario: a 500ms, 1000pps storm over `regions` regions
 /// with a mid-storm crash + restore of UE 0's primary CPF. Inter-region
 /// handovers are excluded (unsupported across shards — UE↔CTA links sit
@@ -50,6 +63,22 @@ std::vector<trace::TraceRecord> make_trace(int regions) {
                            /*regions=*/regions);
 }
 
+/// The overload scenario: the same mixed storm plus a synchronized
+/// IoT-style attach burst (§6.1 "bursty") of 80 fresh UEs at one instant,
+/// landing inside the crash window — the bounded queues must overflow and
+/// the shed uplinks retransmit across a failover.
+std::vector<trace::TraceRecord> make_storm_trace(int regions) {
+  std::vector<trace::TraceRecord> recs = make_trace(regions);
+  for (std::uint64_t u = 0; u < 80; ++u) {
+    trace::TraceRecord rec;
+    rec.at = SimTime::milliseconds(150);
+    rec.ue = UeId(300 + u);
+    rec.type = core::ProcedureType::kAttach;
+    recs.push_back(rec);
+  }
+  return recs;
+}
+
 struct ShardRun {
   core::Metrics metrics;              // merged across shards
   std::vector<std::string> dumps;     // per-shard tracer timelines
@@ -59,12 +88,14 @@ struct ShardRun {
 };
 
 ShardRun run_sharded(std::uint32_t shards, std::uint32_t threads,
-                bool with_crash, std::uint64_t preattached) {
+                bool with_crash, std::uint64_t preattached,
+                const core::ProtocolConfig& proto = test_proto(),
+                bool storm = false) {
   const core::FixedCostModel costs{SimTime::microseconds(10)};
   core::ShardedSystem::Config cfg;
   cfg.policy = core::neutrino_policy();
   cfg.topo = four_region_topo();
-  cfg.proto = test_proto();
+  cfg.proto = proto;
   cfg.shards = shards;
   cfg.threads = threads;
   core::ShardedSystem sys(cfg, costs);
@@ -85,7 +116,8 @@ ShardRun run_sharded(std::uint32_t shards, std::uint32_t threads,
     sys.preattach(UeId(ue), static_cast<std::uint32_t>(ue % regions));
   }
 
-  sys.replay(make_trace(static_cast<int>(regions)));
+  sys.replay(storm ? make_storm_trace(static_cast<int>(regions))
+                   : make_trace(static_cast<int>(regions)));
   if (with_crash) {
     const CpfId doomed =
         sys.system(0).primary_cpf_for(UeId{0}, /*region=*/0);
@@ -210,6 +242,36 @@ TEST(ParallelDeterminism, FourShardsIdenticalAcrossThreadCounts) {
   expect_identical(t1, t4, "threads 1 vs 4");
   expect_identical(t1, t8, "threads 1 vs 8");
   expect_identical(t2, t2_again, "run-to-run at threads=2");
+}
+
+// ---------------------------------------------------------------------------
+// Overload control armed: shedding, bounded-queue drops and NAS
+// retransmission (including retransmits racing a crash + replay) stay
+// bit-identical across worker-thread counts. Retx timers are scheduled on
+// each shard's own loop, so this is the guarantee that backpressure does
+// not leak wall-clock nondeterminism into the simulation.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminism, OverloadBackpressureIdenticalAcrossThreadCounts) {
+  const ShardRun t1 = run_sharded(4, 1, /*with_crash=*/true, 0,
+                                  overload_test_proto(), /*storm=*/true);
+
+  // Sanity: the bounded queues really pushed back and the retx path
+  // really re-drove work — otherwise this sweep proves nothing.
+  EXPECT_GT(t1.metrics.attach_sheds + t1.metrics.overload_drops, 0u);
+  EXPECT_GT(t1.metrics.nas_retransmissions, 0u);
+  EXPECT_GT(t1.metrics.procedures_completed, 200u);
+  EXPECT_EQ(t1.metrics.ryw_violations, 0u);
+
+  const ShardRun t2 = run_sharded(4, 2, true, 0, overload_test_proto(), true);
+  const ShardRun t4 = run_sharded(4, 4, true, 0, overload_test_proto(), true);
+  const ShardRun t8 = run_sharded(4, 8, true, 0, overload_test_proto(), true);
+  const ShardRun t4_again =
+      run_sharded(4, 4, true, 0, overload_test_proto(), true);
+  expect_identical(t1, t2, "overload threads 1 vs 2");
+  expect_identical(t1, t4, "overload threads 1 vs 4");
+  expect_identical(t1, t8, "overload threads 1 vs 8");
+  expect_identical(t4, t4_again, "overload run-to-run at threads=4");
 }
 
 // ---------------------------------------------------------------------------
