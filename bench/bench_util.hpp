@@ -19,8 +19,12 @@
 #include "core/cost_model.hpp"
 #include "core/sharded_system.hpp"
 #include "core/system.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/throughput.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "trace/workload.hpp"
 
 namespace neutrino::bench {
@@ -57,6 +61,11 @@ struct ExperimentResult {
   std::uint64_t windows = 0;
   std::uint64_t cross_shard_messages = 0;
   std::vector<std::uint64_t> shard_events;
+  /// Retained for --trace-out export when the run traced (null otherwise).
+  std::unique_ptr<obs::ProcTracer> tracer;
+  /// Per-window shard activity (sharded runs with record_trace_events):
+  /// the Perfetto shard tracks.
+  std::vector<obs::ShardWindowRecord> window_log;
 };
 
 struct ExperimentConfig {
@@ -76,7 +85,32 @@ struct ExperimentConfig {
   /// Constant-memory PCT accounting (streaming mean/max, no retained
   /// samples) for storm-scale runs; percentile queries are then invalid.
   bool streaming_pct = false;
+  /// Arm the deep-telemetry layer (DESIGN.md §15) at this sim-time
+  /// cadence: windowed series plus per-procedure SLO burn tracking,
+  /// exported as the row's "timeseries"/"slo" sections. Zero (default) =
+  /// fully off — the run does not even schedule sampling ticks.
+  SimTime telemetry_window;
+  /// Retain hop-event timelines (slowest + failed spans) for Perfetto
+  /// export; in sharded runs also log per-window shard activity.
+  bool record_trace_events = false;
 };
+
+/// Default per-procedure SLO targets for bench telemetry, loose enough
+/// that a healthy testbed run burns ≈0 and a failure/overload window
+/// visibly burns >1. All in milliseconds of PCT.
+inline std::vector<std::pair<core::ProcedureType, obs::SloTarget>>
+default_slo_targets() {
+  using PT = core::ProcedureType;
+  return {
+      {PT::kAttach, {2.0, 4.0, 8.0}},
+      {PT::kServiceRequest, {1.0, 2.0, 4.0}},
+      {PT::kHandover, {1.5, 3.0, 6.0}},
+      {PT::kIntraHandover, {1.0, 2.0, 4.0}},
+      {PT::kReattach, {4.0, 8.0, 16.0}},
+      {PT::kDetach, {1.0, 2.0, 4.0}},
+      {PT::kTau, {1.0, 2.0, 4.0}},
+  };
+}
 
 /// Build a system, replay a trace, run to completion, return the metrics.
 /// `extra_setup(system, loop)` runs before the replay (failure injection);
@@ -91,12 +125,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   core::System system(loop, cfg.policy, cfg.topo, cfg.proto,
                       measured_costs(), metrics);
   std::unique_ptr<obs::ProcTracer> tracer;
-  if (cfg.trace_decomposition) {
+  if (cfg.trace_decomposition || cfg.record_trace_events) {
     obs::TracerConfig tc;
-    tc.record_events = false;  // decomposition only; no timeline retention
-    tc.keep_slowest = 8;
-    tc.keep_failed = 0;
-    tracer = std::make_unique<obs::ProcTracer>(tc, &metrics.registry);
+    tc.record_events = cfg.record_trace_events;
+    tc.keep_slowest = cfg.record_trace_events ? 16 : 8;
+    tc.keep_failed = cfg.record_trace_events ? 16 : 0;
+    tracer = std::make_unique<obs::ProcTracer>(
+        tc, cfg.trace_decomposition ? &metrics.registry : nullptr);
     system.attach_tracer(*tracer);
   }
   const auto regions =
@@ -109,13 +144,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   trace::replay(system, t);
   SimTime horizon = cfg.drain;
   if (!t.empty()) horizon += t.back().at;
+  if (cfg.telemetry_window.ns() > 0) {
+    system.arm_telemetry(cfg.telemetry_window, horizon);
+    metrics.arm_slo(cfg.telemetry_window, default_slo_targets());
+  }
   obs::WallTimer wall;
   loop.run_until(horizon);
   const double wall_seconds = wall.seconds();
   post(system);
-  return {std::move(metrics), horizon.sec(), loop.executed(), wall_seconds,
-          /*shards=*/1,       /*threads=*/1, /*windows=*/0,
-          /*cross_shard_messages=*/0,        /*shard_events=*/{}};
+  ExperimentResult result{std::move(metrics), horizon.sec(), loop.executed(),
+                          wall_seconds};
+  result.tracer = std::move(tracer);
+  return result;
 }
 
 template <typename SetupFn>
@@ -139,7 +179,8 @@ inline ExperimentResult run_experiment(
 /// merged metrics are comparable with a legacy run of the same topology.
 inline ExperimentResult run_sharded_experiment(
     const ExperimentConfig& cfg, const std::vector<trace::TraceRecord>& t,
-    std::uint32_t shards, std::uint32_t threads) {
+    std::uint32_t shards, std::uint32_t threads,
+    obs::PhaseProfiler* profiler = nullptr) {
   core::ShardedSystem::Config scfg;
   scfg.policy = cfg.policy;
   scfg.topo = cfg.topo;
@@ -148,6 +189,8 @@ inline ExperimentResult run_sharded_experiment(
   scfg.threads = threads;
   scfg.streaming_pct = cfg.streaming_pct;
   core::ShardedSystem sys(scfg, measured_costs());
+  sys.set_profiler(profiler);
+  if (cfg.record_trace_events) sys.enable_window_log();
   const auto regions = static_cast<std::uint32_t>(cfg.topo.total_regions());
   for (std::uint64_t ue = 0; ue < cfg.preattached_ues; ++ue) {
     sys.preattach(UeId(ue), static_cast<std::uint32_t>(ue % regions));
@@ -155,14 +198,25 @@ inline ExperimentResult run_sharded_experiment(
   sys.replay(t);
   SimTime horizon = cfg.drain;
   if (!t.empty()) horizon += t.back().at;
+  if (cfg.telemetry_window.ns() > 0) {
+    sys.arm_telemetry(cfg.telemetry_window, horizon);
+    sys.arm_slo(cfg.telemetry_window, default_slo_targets());
+  }
   obs::WallTimer wall;
   sys.run_until(horizon);
   const double wall_seconds = wall.seconds();
-  return {sys.merged_metrics(),      horizon.sec(),
-          sys.events_executed(),     wall_seconds,
-          shards,                    threads,
-          sys.stats().windows,       sys.stats().cross_messages,
-          sys.shard_events()};
+  ExperimentResult result{sys.merged_metrics(),  horizon.sec(),
+                          sys.events_executed(), wall_seconds,
+                          shards,                threads,
+                          sys.stats().windows,   sys.stats().cross_messages,
+                          sys.shard_events()};
+  if (cfg.record_trace_events) {
+    for (const auto& w : sys.window_log()) {
+      result.window_log.push_back(
+          obs::ShardWindowRecord{w.start, w.end, w.cross_messages, w.executed});
+    }
+  }
+  return result;
 }
 
 /// Print one box-plot row: label, x, then the PCT distribution in ms.
@@ -186,6 +240,28 @@ inline void print_header(const char* figure, const char* title,
   std::printf("# paper: %s\n", paper_claim);
 }
 
+/// Serialize a Perfetto trace document to `path` (see obs/trace_export.hpp;
+/// load at https://ui.perfetto.dev). When `profiler` is non-null the
+/// serialization cost is attributed to its kCodec phase (lane 0).
+inline bool write_trace_file(const std::string& path, const obs::Json& trace,
+                             obs::PhaseProfiler* profiler = nullptr) {
+  std::string out;
+  {
+    auto codec =
+        obs::PhaseProfiler::scoped(profiler, 0, obs::Phase::kCodec);
+    out = trace.dump(1);
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("# trace: %s\n", path.c_str());
+  return true;
+}
+
 /// Command-line options every bench understands.
 struct BenchOptions {
   /// Shrunk rates/durations for CI (scripts/check.sh): seconds, not
@@ -203,6 +279,15 @@ struct BenchOptions {
   /// --shards=N: shard count for the sharded rows. 0 = max of --threads,
   /// so the default sweep measures thread scaling at a fixed partition.
   std::uint32_t shards = 0;
+  /// --telemetry: arm the deep-telemetry layer (windowed series + SLO
+  /// burn tracking) on benches that support it. Off by default so the
+  /// overhead gate can measure the disabled path.
+  bool telemetry = false;
+  /// --telemetry-window-ms=N: sampling cadence (sim-time).
+  double telemetry_window_ms = 100.0;
+  /// --trace-out=PATH: write a Chrome/Perfetto trace-event JSON of the
+  /// run (procedure hop spans + shard window tracks) to PATH.
+  std::string trace_out;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -231,9 +316,23 @@ struct BenchOptions {
       } else if (arg.rfind("--shards=", 0) == 0) {
         o.shards = static_cast<std::uint32_t>(
             std::strtoul(std::string{arg.substr(9)}.c_str(), nullptr, 10));
+      } else if (arg == "--telemetry") {
+        o.telemetry = true;
+      } else if (arg.rfind("--telemetry-window-ms=", 0) == 0) {
+        o.telemetry_window_ms =
+            std::strtod(std::string{arg.substr(22)}.c_str(), nullptr);
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        o.trace_out = arg.substr(12);
       }
     }
     return o;
+  }
+
+  /// The sampling window --telemetry arms, or zero when it is off.
+  [[nodiscard]] SimTime telemetry_window() const {
+    if (!telemetry || telemetry_window_ms <= 0) return SimTime{};
+    return SimTime::nanoseconds(
+        static_cast<std::int64_t>(telemetry_window_ms * 1e6));
   }
 
   /// The shard count the sharded rows actually run with.
@@ -278,6 +377,7 @@ class Report {
 
   [[nodiscard]] bool smoke() const { return opts_.smoke; }
   [[nodiscard]] bool decompose() const { return opts_.decompose; }
+  [[nodiscard]] const BenchOptions& options() const { return opts_; }
   /// Bench-specific configuration block (rates, topology, policy knobs).
   obs::Json& config() { return doc_["config"]; }
 
@@ -327,6 +427,21 @@ class Report {
     if (!decomp.is_null()) row["decomposition_ms"] = std::move(decomp);
     obs::Json series = obs::time_series_json(reg);
     if (series.size() > 0) row["time_series"] = std::move(series);
+    // Schema v3 telemetry sections — present only when the run armed them.
+    obs::Json windowed = obs::windowed_series_json(reg);
+    if (windowed["series"].size() > 0) row["timeseries"] = std::move(windowed);
+    if (const obs::SloTracker* slo = result.metrics.slo();
+        slo != nullptr && slo->any_samples()) {
+      row["slo"] = slo->json();
+    }
+  }
+
+  /// Wall-clock phase shares for a sharded run (schema v3 "profiler"
+  /// section). Deliberately a separate call, never folded into
+  /// attach_result: the numbers are machine- and thread-count-dependent,
+  /// and determinism tests must be able to compare everything else.
+  static void attach_profiler(obs::Json& row, const obs::PhaseProfiler& p) {
+    row["profiler"] = p.json();
   }
 
   /// Regroup the "core.pct_decomp_ms{component=..,proc=..}" histograms as

@@ -99,6 +99,32 @@ std::string dump_artifact(const chaos::ScheduleArtifact& art,
   return path;
 }
 
+/// Re-run a (minimal) failing schedule with the flight recorder armed and
+/// write the merged ring next to the reproducer: `X.json` → `X.flight.json`.
+/// The timeline of crashes/sheds/retransmissions leading up to the
+/// violation ships with the artifact (DESIGN.md §15).
+std::string write_flight_dump(const chaos::Schedule& s, chaos::RunConfig rc,
+                              const core::CostModel& costs,
+                              const std::string& repro_path) {
+  rc.record_flight = true;
+  const chaos::RunOutcome out = chaos::run_schedule(s, rc, costs);
+  std::string path = repro_path;
+  const std::string suffix = ".json";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    path.resize(path.size() - suffix.size());
+  }
+  path += ".flight.json";
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "chaos: cannot write flight dump to %s\n",
+                 path.c_str());
+    return path;
+  }
+  f << out.flight_json;
+  return path;
+}
+
 /// Aggregates for one runtime configuration across the whole campaign.
 struct RuntimeAgg {
   std::string name;
@@ -153,11 +179,15 @@ int run_replay(const CampaignArgs& args, const core::CostModel& costs) {
   }
   chaos::RunConfig rc;
   rc.faults = art->faults;
+  rc.record_flight = true;
   const chaos::RunOutcome out = chaos::run_schedule(art->schedule, rc, costs);
-  std::printf("chaos\treplay\tseed=%llu\tevents=%zu\tviolations=%llu\n",
-              static_cast<unsigned long long>(art->schedule.seed),
-              art->schedule.events.size(),
-              static_cast<unsigned long long>(out.violation_count));
+  std::printf(
+      "chaos\treplay\tseed=%llu\tevents=%zu\tviolations=%llu\t"
+      "flight_events=%llu\n",
+      static_cast<unsigned long long>(art->schedule.seed),
+      art->schedule.events.size(),
+      static_cast<unsigned long long>(out.violation_count),
+      static_cast<unsigned long long>(out.flight_events));
   for (const std::string& v : out.violations) {
     std::printf("#   %s\n", v.c_str());
   }
@@ -190,11 +220,13 @@ int run_teeth(const CampaignArgs& args, const core::CostModel& costs) {
     const chaos::Schedule min = chaos::shrink_schedule(s, fails, 400, &st);
     const std::string path =
         dump_artifact({min, rc.faults}, args.repro_dir, args.inject.c_str());
+    const std::string flight = write_flight_dump(min, rc, costs, path);
     std::printf(
         "chaos\tinject=%s\tseed=%llu\tcaught\tshrunk %zu -> %zu events "
-        "(%zu runs)\treproducer=%s\n",
+        "(%zu runs)\treproducer=%s\tflight=%s\n",
         args.inject.c_str(), static_cast<unsigned long long>(seed),
-        s.events.size(), min.events.size(), st.runs, path.c_str());
+        s.events.size(), min.events.size(), st.runs, path.c_str(),
+        flight.c_str());
     if (min.events.size() > 10) {
       std::fprintf(stderr,
                    "chaos: FAIL: reproducer still has %zu events (> 10)\n",
@@ -274,6 +306,7 @@ int main(int argc, char** argv) {
     std::string runtime;
     std::uint64_t violations;
     std::string reproducer;
+    std::string flight;
     std::string first;
   };
   std::vector<Failure> failures;
@@ -303,6 +336,7 @@ int main(int argc, char** argv) {
         const chaos::Schedule min = chaos::shrink_schedule(s, fails, 400);
         f.reproducer = dump_artifact({min, rc.faults}, args.repro_dir,
                                      runtimes[i].name.c_str());
+        f.flight = write_flight_dump(min, rc, costs, f.reproducer);
       }
       std::fprintf(stderr,
                    "chaos: seed %llu violated %llu invariant(s) on %s%s%s\n",
@@ -390,6 +424,7 @@ int main(int argc, char** argv) {
     row["runtime"] = f.runtime;
     row["violations"] = f.violations;
     if (!f.reproducer.empty()) row["reproducer"] = f.reproducer;
+    if (!f.flight.empty()) row["flight"] = f.flight;
     if (!f.first.empty()) row["first_violation"] = f.first;
   }
   const std::string out = doc.dump(2);

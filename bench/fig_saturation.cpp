@@ -7,9 +7,10 @@
 // smaller of regions/demand_cta and total_cpfs/demand_cpf. The sweep then
 // offers {0.5, 1, 1.5, 2}× that rate with overload control armed (bounded
 // CTA/CPF queues, attach admission at 50%, NAS retransmission), plus one
-// unbounded-baseline run at 2× for contrast. The baseline runs LAST so
-// the process-wide peak-RSS watermark of the controlled rows is not
-// inflated by its backlog.
+// unbounded-baseline run at 2× for contrast. Memory is reported as a
+// per-run watermark *delta* (obs::RssMeter), so the rows are
+// order-independent: ru_maxrss is process-lifetime monotone, and a raw
+// reading would attribute an earlier row's backlog to whoever runs after.
 //
 // Acceptance surface (validate_report.py, figure "fig_saturation"): at 2×
 // the knee the controlled run must show zero RYW violations, a peak queue
@@ -116,9 +117,11 @@ int main(int argc, char** argv) {
   }
 
   constexpr std::size_t kQueueCapacity = 32;
+  obs::RssMeter rss_meter;
   report.config()["queue_capacity"] = kQueueCapacity;
   report.config()["population"] = population;
   report.config()["window_ms"] = window.sec() * 1e3;
+  report.config()["rss_baseline_bytes"] = rss_meter.baseline_bytes();
 
   core::ProtocolConfig controlled;
   controlled.cta_queue_capacity = kQueueCapacity;
@@ -128,20 +131,29 @@ int main(int argc, char** argv) {
   controlled.nas_retx_budget = 6;
 
   const auto run_point = [&](const char* system_name,
-                             const core::ProtocolConfig& proto, double mult) {
+                             const core::ProtocolConfig& proto, double mult,
+                             bool trace_this_run = false) {
     bench::ExperimentConfig cfg;
     cfg.policy = core::neutrino_policy();
     cfg.topo = topo;
     cfg.proto = proto;
     cfg.preattached_ues = population;
     cfg.streaming_pct = true;  // storm-scale run; percentiles not needed
+    cfg.telemetry_window = report.options().telemetry_window();
+    cfg.record_trace_events = trace_this_run;
     const double rate = knee_pps * mult;
     const auto t = make_offered(rate, window, population,
                                 static_cast<int>(regions));
     PoolLoad load;
+    rss_meter.begin_run();
     const auto result = bench::run_experiment(
         cfg, t, [](core::System&, sim::EventLoop&) {},
         [&](core::System& system) { load = scan_pools(system, topo); });
+    const std::size_t rss_delta = rss_meter.run_delta_bytes();
+    if (trace_this_run) {
+      bench::write_trace_file(report.options().trace_out,
+                              obs::perfetto_trace(result.tracer.get()));
+    }
     const auto& m = result.metrics;
     const std::uint64_t offered_attaches = count_attaches(t);
     const double completion =
@@ -160,12 +172,14 @@ int main(int argc, char** argv) {
     std::printf("fig_saturation\t%s\t%.2f\toffered=%.0fpps\tn=%zu\t"
                 "completion=%.4f\tsheds=%" PRIu64 "\tdrops=%" PRIu64
                 "\tretx=%" PRIu64 "\texhausted=%" PRIu64
-                "\tpeak_cta=%zu\tpeak_cpf=%zu\trss_mb=%.1f\n",
+                "\tpeak_cta=%zu\tpeak_cpf=%zu\trss_mb=%.1f\t"
+                "rss_delta_mb=%.1f\n",
                 system_name, mult, rate, t.size(), completion,
                 m.attach_sheds.value(), m.overload_drops.value(),
                 m.nas_retransmissions.value(), m.retx_exhausted.value(),
                 load.peak_cta_depth, load.peak_cpf_depth,
-                static_cast<double>(rss) / (1024.0 * 1024.0));
+                static_cast<double>(rss) / (1024.0 * 1024.0),
+                static_cast<double>(rss_delta) / (1024.0 * 1024.0));
     obs::Json& row = report.new_row(system_name);
     row["x"] = mult;
     row["offered_pps"] = rate;
@@ -176,14 +190,21 @@ int main(int argc, char** argv) {
     row["peak_cta_depth"] = static_cast<std::uint64_t>(load.peak_cta_depth);
     row["peak_cpf_depth"] = static_cast<std::uint64_t>(load.peak_cpf_depth);
     row["peak_rss_bytes"] = rss;
+    row["peak_rss_delta_bytes"] = static_cast<std::uint64_t>(rss_delta);
     bench::Report::attach_result(row, result);
   };
 
+  const bool want_trace = !report.options().trace_out.empty();
   for (const double mult : {0.5, 1.0, 1.5, 2.0}) {
-    run_point("overload-control", controlled, mult);
+    // The 2x controlled point is the interesting timeline (sheds + retx
+    // under full overload control): that's the one --trace-out exports.
+    run_point("overload-control", controlled, mult,
+              want_trace && mult == 2.0);
   }
   // Pre-PR baseline: no bounds, no retx — the backlog at 2x grows with the
   // window and the peak depth lands far beyond the controlled bound.
+  // (Order no longer matters for the RSS columns: each row reports its own
+  // watermark delta.)
   run_point("baseline-unbounded", core::ProtocolConfig{}, 2.0);
   return 0;
 }

@@ -77,6 +77,10 @@ int main(int argc, char** argv) {
               });
   }
 
+  obs::RssMeter rss_meter;
+  report.config()["rss_baseline_bytes"] = rss_meter.baseline_bytes();
+  report.config()["telemetry"] = opts.telemetry;
+
   bool ok = true;
   for (const auto& policy :
        {core::existing_epc_policy(), core::neutrino_policy()}) {
@@ -85,7 +89,10 @@ int main(int argc, char** argv) {
     cfg.topo = core::TopologyConfig{};  // the paper's 1-region testbed
     cfg.proto = core::ProtocolConfig{};
     cfg.streaming_pct = true;  // constant-memory PCT at storm scale
+    cfg.telemetry_window = opts.telemetry_window();
+    rss_meter.begin_run();
     auto result = bench::run_experiment(cfg, t);  // pct_for is non-const
+    const std::size_t rss_delta = rss_meter.run_delta_bytes();
 
     const std::uint64_t started = result.metrics.procedures_started;
     const std::uint64_t completed = result.metrics.procedures_completed;
@@ -116,6 +123,7 @@ int main(int argc, char** argv) {
     row["events_per_sec"] = events_per_sec;
     row["procedures_per_sec"] = procs_per_sec;
     row["peak_rss_bytes"] = rss;
+    row["peak_rss_delta_bytes"] = static_cast<std::uint64_t>(rss_delta);
     row["attach_ms"] = streaming_summary(result.metrics.pct_for(
         core::ProcedureType::kAttach));
     row["service_request_ms"] = streaming_summary(result.metrics.pct_for(
@@ -144,11 +152,30 @@ int main(int argc, char** argv) {
     cfg.topo.l1_per_l2 = static_cast<int>(shards);  // one region per shard
     cfg.proto = core::ProtocolConfig{};
     cfg.streaming_pct = true;
+    cfg.telemetry_window = opts.telemetry_window();
     report.config()["shards"] = shards;
     report.config()["sharded_regions"] = cfg.topo.total_regions();
 
-    for (const std::uint32_t threads : opts.threads) {
-      auto result = bench::run_sharded_experiment(cfg, t, shards, threads);
+    for (std::size_t ti = 0; ti < opts.threads.size(); ++ti) {
+      const std::uint32_t threads = opts.threads[ti];
+      // --trace-out: the last (widest) sharded row logs its conservative
+      // windows and exports them as Perfetto shard tracks.
+      cfg.record_trace_events =
+          !opts.trace_out.empty() && ti + 1 == opts.threads.size();
+      // Wall-clock phase attribution for this row (schedule / dispatch /
+      // barrier-wait / channel-drain / codec). Lives only in the row's
+      // "profiler" section — never in determinism-compared output.
+      obs::PhaseProfiler profiler(std::max<std::size_t>(shards, threads));
+      rss_meter.begin_run();
+      auto result =
+          bench::run_sharded_experiment(cfg, t, shards, threads, &profiler);
+      const std::size_t rss_delta = rss_meter.run_delta_bytes();
+      if (cfg.record_trace_events) {
+        bench::write_trace_file(
+            opts.trace_out,
+            obs::perfetto_trace(result.tracer.get(), result.window_log),
+            &profiler);
+      }
       const std::uint64_t started = result.metrics.procedures_started;
       const std::uint64_t completed = result.metrics.procedures_completed;
       const std::uint64_t ryw = result.metrics.ryw_violations;
@@ -183,11 +210,13 @@ int main(int argc, char** argv) {
       row["events_per_sec"] = events_per_sec;
       row["procedures_per_sec"] = procs_per_sec;
       row["peak_rss_bytes"] = rss;
+      row["peak_rss_delta_bytes"] = static_cast<std::uint64_t>(rss_delta);
       row["attach_ms"] = streaming_summary(result.metrics.pct_for(
           core::ProcedureType::kAttach));
       row["service_request_ms"] = streaming_summary(result.metrics.pct_for(
           core::ProcedureType::kServiceRequest));
       bench::Report::attach_result(row, result);
+      bench::Report::attach_profiler(row, profiler);
 
       if (completed != started || ryw != 0) {
         std::fprintf(stderr,

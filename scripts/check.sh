@@ -89,14 +89,68 @@ build-release/bench/scale_throughput --smoke --threads=1,2 --shards=2 \
 python3 scripts/validate_report.py "$out"
 python3 scripts/summarize_bench.py "$out"
 
+# Deep telemetry (DESIGN.md §15): the same storm with windowed series,
+# SLO burn tracking and the phase profiler armed, the last sharded row
+# exporting a Perfetto trace. validate_report.py checks the v3 report
+# sections and the trace-event JSON.
+echo "== telemetry sections + trace export (build-release)"
+tout=build-release/bench/scale_throughput.telemetry-report.json
+trace=build-release/bench/scale_throughput.trace.json
+build-release/bench/scale_throughput --smoke --threads=1,2 --shards=2 \
+  --telemetry --trace-out="$trace" --report="$tout" >/dev/null
+python3 scripts/validate_report.py "$tout" "$trace"
+python3 - "$tout" <<'PY'
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+for section in ("timeseries", "slo", "profiler"):
+    assert any(section in r for r in rows), f"no {section} section in any row"
+print("telemetry sections present:", sys.argv[1])
+PY
+
+# Telemetry overhead gate: enabled (--telemetry) must cost <=10% over
+# disabled, and a second disabled run must land within 2% of the first —
+# the default-off path stays effectively free. Wall-clock is noisy, so a
+# failed comparison retries (3 attempts) before failing the gate.
+echo "== telemetry overhead gate (build-release)"
+ok=0
+for attempt in 1 2 3; do
+  off1=build-release/bench/scale-overhead-off1.json
+  on=build-release/bench/scale-overhead-on.json
+  off2=build-release/bench/scale-overhead-off2.json
+  build-release/bench/scale_throughput --smoke --report="$off1" >/dev/null
+  build-release/bench/scale_throughput --smoke --telemetry \
+    --report="$on" >/dev/null
+  build-release/bench/scale_throughput --smoke --report="$off2" >/dev/null
+  if python3 - "$off1" "$on" "$off2" <<'PY'
+import json, sys
+def wall(path):
+    return sum(r["wall_seconds"] for r in json.load(open(path))["rows"])
+off1, on, off2 = (wall(p) for p in sys.argv[1:4])
+base = min(off1, off2)
+drift = abs(off1 - off2) / base
+overhead = (on - base) / base
+print(f"telemetry overhead: disabled drift {drift:.1%}, "
+      f"enabled {overhead:+.1%} (gate: 2% / 10%)")
+sys.exit(0 if drift <= 0.02 and overhead <= 0.10 else 1)
+PY
+  then
+    ok=1
+    break
+  fi
+  echo "-- attempt $attempt noisy; retrying"
+done
+[[ "$ok" == 1 ]] || { echo "telemetry overhead gate failed"; exit 1; }
+
 # Saturation sweep at release optimization: the full offered-load knee
 # sweep with overload control armed; validate_report.py enforces the
 # bounded-depth / zero-RYW / >=99%-completion acceptance surface.
 echo "== saturation sweep (build-release)"
 cmake --build build-release -j --target fig_saturation
 out=build-release/bench/fig_saturation.report.json
-build-release/bench/fig_saturation --report="$out" >/dev/null
-python3 scripts/validate_report.py "$out"
+trace=build-release/bench/fig_saturation.trace.json
+build-release/bench/fig_saturation --telemetry --trace-out="$trace" \
+  --report="$out" >/dev/null
+python3 scripts/validate_report.py "$out" "$trace"
 
 # Release chaos campaign: 50 seeds across legacy / 1-shard / multi-shard
 # runtimes; any invariant violation shrinks to a replayable reproducer and

@@ -9,7 +9,9 @@ figures it pivots median PCT into an x-by-system table and appends the
 best-vs-EPC ratio, which is the number the paper quotes. For JSON reports
 with sharded-runtime rows it prints a thread-scaling table: events/s,
 events/s per thread, and speedup relative to the threads=1 row of the
-same shard count. No third-party dependencies.
+same shard count. Rows that carry a "timeseries" section (benches run
+with --telemetry) additionally render each windowed series as a text
+sparkline over sim-time. No third-party dependencies.
 """
 import json
 import sys
@@ -112,6 +114,42 @@ def scaling_table(doc):
                   f"{r.get('cross_shard_messages', 0):>12}")
 
 
+SPARK = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
+
+
+def sparkline(values, width=64):
+    """Render values as one sparkline row, max-pooled down to `width`."""
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = (len(values) + width - 1) // width
+        values = [max(values[i:i + stride])
+                  for i in range(0, len(values), stride)]
+    top = max(values)
+    if top <= 0:
+        return SPARK[0] * len(values)
+    return "".join(SPARK[min(7, int(v / top * 8))] for v in values)
+
+
+def timeseries_view(doc):
+    """Sparklines for every windowed series of every --telemetry row."""
+    for row in doc.get("rows", []):
+        ts = row.get("timeseries")
+        if not isinstance(ts, dict) or not ts.get("series"):
+            continue
+        label = row.get("system", "?")
+        if "threads" in row:
+            label += (f" shards={row.get('shards', '?')}"
+                      f" threads={row['threads']}")
+        print(f"\n  {label}  (window {ts.get('window_ms')} ms)")
+        for key in sorted(ts["series"]):
+            s = ts["series"][key]
+            vals = [p[1] for p in s.get("points", [])
+                    if isinstance(p, list) and len(p) == 2]
+            print(f"    {key:<40} {sparkline(vals)}  "
+                  f"max={s.get('max', 0):g}")
+
+
 def summarize_tsv(path):
     rows = parse(path)
     for fig in sorted(rows):
@@ -133,6 +171,7 @@ def main():
             print(f"\n== {doc.get('figure', path)}: sharded-runtime "
                   f"scaling ({path}) ==")
             scaling_table(doc)
+            timeseries_view(doc)
         else:
             summarize_tsv(path)
 

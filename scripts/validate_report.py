@@ -18,12 +18,26 @@ neutrino.bench-report:
   * version >= 2: every row carries "mode"; "sharded" rows carry
     shards/threads/windows/cross_shard_messages and a shard_events list
     with one non-negative entry per shard summing to events_executed;
+  * version >= 3 (deep telemetry, DESIGN.md §15): a row's "timeseries"
+    section has a positive window, strictly monotone per-series
+    timestamps and point-list lengths consistent with the exporter's
+    shared subsampling stride; an "slo" section has monotone targets,
+    violation counts bounded by the sample count and burn rates matching
+    (violations/count)/(1-q); a "profiler" section has non-negative
+    ns/calls, shares in [0,1] summing to 1, and lane totals matching the
+    per-phase totals;
   * figure "fig_saturation" additionally: a calibrated knee and queue
     capacity in config; every overload-control row has zero RYW
     violations, >= 99% completion and a peak queue depth within 2x the
     configured capacity; the 2x-knee row actually shed attaches; and the
     unbounded baseline's peak depth exceeds that bound (the backlog the
     controller is there to prevent).
+
+Chrome/Perfetto trace-event JSON (a document with "traceEvents" and no
+"schema" key, as written by --trace-out=):
+  * traceEvents is a list; every event has a name, a phase in {M, X, C}
+    and integer pid/tid; "X" complete events carry non-negative ts and
+    dur; "C" counter events carry ts and args.
 
 neutrino.chaos-campaign:
   * envelope, config, seeds_run and mismatch counters;
@@ -105,6 +119,193 @@ def check_sharded(path, where, row, errors):
             f"events_executed is {row['events_executed']}")
 
 
+# Mirrors obs::windowed_series_json's max_points: the exporter derives one
+# subsampling stride from the longest series and applies it to every
+# series in the row, so point-list lengths are a pure function of "n".
+MAX_TS_POINTS = 256
+WINDOW_AGGS = ("sum", "max", "last")
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def check_timeseries(path, where, ts, errors):
+    window_ms = ts.get("window_ms")
+    if not isinstance(window_ms, (int, float)) or window_ms <= 0:
+        errors.append(f"{path}: {where}: window_ms = {window_ms!r}")
+        return
+    series = ts.get("series")
+    if not isinstance(series, dict) or not series:
+        errors.append(f"{path}: {where}: no series")
+        return
+    longest = max((s.get("n", 0) for s in series.values()
+                   if isinstance(s, dict)), default=0)
+    stride = (longest + MAX_TS_POINTS - 1) // MAX_TS_POINTS \
+        if longest > MAX_TS_POINTS else 1
+    for key, s in series.items():
+        w = f"{where}.series[{key}]"
+        if s.get("agg") not in WINDOW_AGGS:
+            errors.append(f"{path}: {w}: agg = {s.get('agg')!r}")
+        n = s.get("n")
+        if not nonneg_int(n) or n == 0:
+            errors.append(f"{path}: {w}: n = {n!r}")
+            continue
+        points = s.get("points")
+        if not isinstance(points, list) or not points:
+            errors.append(f"{path}: {w}: no points")
+            continue
+        expected = (n + stride - 1) // stride
+        if len(points) != expected:
+            errors.append(f"{path}: {w}: {len(points)} points for n={n} "
+                          f"with stride {stride} (want {expected})")
+        prev = None
+        for p in points:
+            if (not isinstance(p, list) or len(p) != 2 or
+                    not all(isinstance(v, (int, float)) for v in p)):
+                errors.append(f"{path}: {w}: malformed point {p!r}")
+                break
+            if p[0] < 0 or (prev is not None and p[0] <= prev):
+                errors.append(f"{path}: {w}: timestamps not strictly "
+                              f"monotone at t={p[0]!r}")
+                break
+            prev = p[0]
+
+
+def check_slo(path, where, slo, errors):
+    window_ms = slo.get("window_ms")
+    if not isinstance(window_ms, (int, float)) or window_ms <= 0:
+        errors.append(f"{path}: {where}: window_ms = {window_ms!r}")
+        return
+    for proc, entry in slo.get("procs", {}).items():
+        w = f"{where}.procs[{proc}]"
+        targets = entry.get("targets_ms", {})
+        bounds = [targets.get(q) for q, _ in QUANTILES]
+        if (any(not isinstance(b, (int, float)) or b <= 0 for b in bounds)
+                or not bounds[0] <= bounds[1] <= bounds[2]):
+            errors.append(f"{path}: {w}: targets not monotone positive: "
+                          f"{targets!r}")
+            continue
+        count = entry.get("count")
+        if not nonneg_int(count) or count == 0:
+            errors.append(f"{path}: {w}: count = {count!r}")
+            continue
+        viol = entry.get("violations", {})
+        burn = entry.get("burn", {})
+        prev_v = None
+        for q, frac in QUANTILES:
+            v = viol.get(q)
+            if not nonneg_int(v) or v > count:
+                errors.append(f"{path}: {w}: violations.{q} = {v!r} "
+                              f"(count {count})")
+                break
+            # Bounds rise with the quantile, so violation counts fall.
+            if prev_v is not None and v > prev_v:
+                errors.append(f"{path}: {w}: violations.{q} = {v} exceeds "
+                              f"the lower quantile's {prev_v}")
+            prev_v = v
+            want = (v / count) / (1.0 - frac)
+            got = burn.get(q)
+            if (not isinstance(got, (int, float)) or
+                    abs(got - want) > max(abs(want) * 1e-6, 1e-9)):
+                errors.append(f"{path}: {w}: burn.{q} = {got!r}, "
+                              f"want {want:.9g}")
+        windows = entry.get("windows")
+        if not isinstance(windows, list) or not windows:
+            errors.append(f"{path}: {w}: no windows")
+            continue
+        prev_t = None
+        win_count = 0
+        win_p99 = 0
+        bad = False
+        for row in windows:
+            if (not isinstance(row, list) or len(row) != 4 or
+                    not all(isinstance(v, (int, float)) for v in row)):
+                errors.append(f"{path}: {w}: malformed window {row!r}")
+                bad = True
+                break
+            if prev_t is not None and row[0] <= prev_t:
+                errors.append(f"{path}: {w}: window timestamps not "
+                              f"strictly monotone at t={row[0]!r}")
+                bad = True
+                break
+            prev_t = row[0]
+            win_count += row[1]
+            win_p99 += row[2]
+        if not bad:
+            if win_count != count:
+                errors.append(f"{path}: {w}: window counts sum to "
+                              f"{win_count}, total is {count}")
+            if win_p99 != viol.get("p99"):
+                errors.append(f"{path}: {w}: window p99 violations sum to "
+                              f"{win_p99}, total is {viol.get('p99')!r}")
+
+
+def check_profiler(path, where, prof, errors):
+    phases = prof.get("phases")
+    if not isinstance(phases, dict):
+        errors.append(f"{path}: {where}: missing phases")
+        return
+    share_sum = 0.0
+    ns_sum = 0
+    for name, entry in phases.items():
+        w = f"{where}.phases[{name}]"
+        for k in ("ns", "calls"):
+            if not nonneg_int(entry.get(k)):
+                errors.append(f"{path}: {w}: {k} = {entry.get(k)!r}")
+                return
+        share = entry.get("share")
+        if not isinstance(share, (int, float)) or not 0.0 <= share <= 1.0:
+            errors.append(f"{path}: {w}: share = {share!r}")
+            return
+        share_sum += share
+        ns_sum += entry["ns"]
+    if phases and ns_sum > 0 and abs(share_sum - 1.0) > 1e-6:
+        errors.append(f"{path}: {where}: shares sum to {share_sum:.9g}")
+    lanes = prof.get("lane_ns")
+    if not isinstance(lanes, list):
+        errors.append(f"{path}: {where}: missing lane_ns")
+        return
+    lane_total = 0
+    for i, lane in enumerate(lanes):
+        if (not isinstance(lane, list) or
+                any(not nonneg_int(v) for v in lane)):
+            errors.append(f"{path}: {where}: lane_ns[{i}] = {lane!r}")
+            return
+        lane_total += sum(lane)
+    if lane_total != ns_sum:
+        errors.append(f"{path}: {where}: lane_ns sums to {lane_total}, "
+                      f"phase totals to {ns_sum}")
+
+
+def check_trace(path, doc, errors):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append(f"{path}: traceEvents is {type(events).__name__}")
+        return
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{path}: {where}: not an object")
+            return
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            errors.append(f"{path}: {where}: missing name")
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "C"):
+            errors.append(f"{path}: {where}: ph = {ph!r}")
+            continue
+        for k in ("pid", "tid"):
+            if not isinstance(ev.get(k), int):
+                errors.append(f"{path}: {where}: {k} = {ev.get(k)!r}")
+        if ph in ("X", "C"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{path}: {where}: ts = {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{path}: {where}: dur = {dur!r}")
+        if ph in ("M", "C") and not isinstance(ev.get("args"), dict):
+            errors.append(f"{path}: {where}: {ph} event without args")
+
+
 def check_rows(path, rows, errors, version):
     decomposed = 0
     for i, row in enumerate(rows):
@@ -125,6 +326,17 @@ def check_rows(path, rows, errors, version):
         for name, v in counters.items():
             if not isinstance(v, int) or v < 0:
                 errors.append(f"{path}: {where}: counter {name} = {v!r}")
+        if "peak_rss_delta_bytes" in row and \
+                not nonneg_int(row["peak_rss_delta_bytes"]):
+            errors.append(f"{path}: {where}: peak_rss_delta_bytes = "
+                          f"{row['peak_rss_delta_bytes']!r}")
+        if "timeseries" in row:
+            check_timeseries(path, f"{where}.timeseries", row["timeseries"],
+                             errors)
+        if "slo" in row:
+            check_slo(path, f"{where}.slo", row["slo"], errors)
+        if "profiler" in row:
+            check_profiler(path, f"{where}.profiler", row["profiler"], errors)
         if "decomposition_ms" in row:
             decomposed += 1
             check_decomposition(path, where, row["decomposition_ms"], errors)
@@ -238,6 +450,9 @@ def validate(path):
         doc = extract_json(open(path).read())
     except (ValueError, json.JSONDecodeError) as e:
         return [f"{path}: cannot parse: {e}"], 0
+    if "schema" not in doc and "traceEvents" in doc:
+        check_trace(path, doc, errors)
+        return errors, 0
     if doc.get("schema") == CAMPAIGN_SCHEMA:
         if not isinstance(doc.get("version"), int):
             errors.append(f"{path}: missing integer 'version'")

@@ -68,7 +68,8 @@ class InvariantChecker final : public core::InvariantObserver {
       record("ryw: ue=" + std::to_string(ue.value()) +
              " served_proc=" + std::to_string(served_proc) +
              " expected=" + std::to_string(it->second) + " (" +
-             std::string{core::to_string(type)} + ")");
+             std::string{core::to_string(type)} + ")",
+             "ryw", static_cast<std::int64_t>(ue.value()));
     }
   }
 
@@ -78,7 +79,8 @@ class InvariantChecker final : public core::InvariantObserver {
     if (proc_seq <= last) {
       record("double completion: ue=" + std::to_string(ue.value()) +
              " seq=" + std::to_string(proc_seq) +
-             " already completed through " + std::to_string(last));
+             " already completed through " + std::to_string(last),
+             "double_completion", static_cast<std::int64_t>(ue.value()));
     } else {
       last = proc_seq;
     }
@@ -94,7 +96,8 @@ class InvariantChecker final : public core::InvariantObserver {
     if (quiesced_ && system_->msg_pool().outstanding() != 0) {
       record("msg pool conservation: " +
              std::to_string(system_->msg_pool().outstanding()) +
-             " pooled messages never returned after drain");
+             " pooled messages never returned after drain",
+             "msg_pool");
     }
   }
 
@@ -123,11 +126,19 @@ class InvariantChecker final : public core::InvariantObserver {
       if (!system_->owns_region(r) || !system_->cta_alive(r)) continue;
       system_->cta(r).audit_log_invariants(found);
     }
-    for (std::string& v : found) record(std::move(v));
+    for (std::string& v : found) record(std::move(v), "cta_log");
   }
 
-  void record(std::string v) {
+  /// `tag` must be a string literal: it rides into the flight recorder,
+  /// whose Event::detail is never owned. Violations land in the flight
+  /// ring too (at current sim-time), so a teeth reproducer whose minimal
+  /// schedule triggers no crash/shed/retx still ships a non-empty dump.
+  void record(std::string v, const char* tag, std::int64_t a = -1) {
     ++count_;
+    if (obs::FlightRecorder* f = system_->flight()) {
+      f->record(system_->loop().now(), obs::FlightRecorder::Kind::kViolation,
+                a, -1, tag);
+    }
     if (descriptions_.size() < kMaxDescriptions) {
       descriptions_.push_back(std::move(v));
     }

@@ -24,6 +24,7 @@
 #include "core/sharded_system.hpp"
 #include "core/system.hpp"
 #include "core/topology.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/event_loop.hpp"
 
 namespace neutrino::chaos {
@@ -37,6 +38,11 @@ struct RunConfig {
   std::uint32_t threads = 1;
   core::FaultInjection faults;
   SimTime audit_interval = SimTime::milliseconds(50);
+  /// Ride a flight recorder along (one per shard) and put the merged dump
+  /// in RunOutcome::flight_json. The campaign arms this so an invariant
+  /// violation ships the last-events timeline next to the repro artifact.
+  bool record_flight = false;
+  std::size_t flight_capacity = 256;
 };
 
 struct RunOutcome {
@@ -59,6 +65,11 @@ struct RunOutcome {
   /// Fig. 5 recovery-outcome histogram: scenario label → count
   /// ("failover" / "replay" / "reattach" / "hole").
   std::map<std::string, std::uint64_t> recoveries;
+  /// Merged flight-recorder dump (obs::merge_flight JSON); empty unless
+  /// RunConfig::record_flight. Deterministic for a fixed shard count.
+  std::string flight_json;
+  /// Events retained across all recorders (ring size bounds this).
+  std::uint64_t flight_events = 0;
 };
 
 /// Topology slice a Schedule runs on: one level-2 region so every
@@ -193,6 +204,8 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
     core::Metrics metrics;
     core::System system(loop, policy, topo, proto, costs, metrics);
     system.faults() = rc.faults;
+    obs::FlightRecorder flight(rc.flight_capacity);
+    if (rc.record_flight) system.attach_flight_recorder(flight);
     InvariantChecker checker(system, rc.audit_interval, until);
     checker.arm();
     for (std::uint32_t u = 0; u < s.ues; ++u) {
@@ -218,6 +231,10 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
       if (system.frontend().in_flight(UeId{u})) ++out.lost;
     }
     system.detach_invariant_observer();
+    if (rc.record_flight) {
+      out.flight_events = flight.size();
+      out.flight_json = obs::FlightRecorder::merge_flight({&flight}).dump(2);
+    }
     return out;
   }
 
@@ -228,6 +245,14 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
   scfg.shards = rc.shards;
   scfg.threads = rc.threads;
   core::ShardedSystem sys(scfg, costs);
+  std::vector<obs::FlightRecorder> flights;
+  if (rc.record_flight) {
+    flights.reserve(rc.shards);
+    for (std::uint32_t i = 0; i < rc.shards; ++i) {
+      flights.emplace_back(rc.flight_capacity);
+      sys.attach_flight_recorder(i, flights.back());
+    }
+  }
   std::vector<std::unique_ptr<InvariantChecker>> checkers;
   checkers.reserve(rc.shards);
   for (std::uint32_t i = 0; i < rc.shards; ++i) {
@@ -275,6 +300,15 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
   }
   for (std::uint32_t i = 0; i < rc.shards; ++i) {
     sys.system(i).detach_invariant_observer();
+  }
+  if (rc.record_flight) {
+    std::vector<const obs::FlightRecorder*> ptrs;
+    ptrs.reserve(flights.size());
+    for (const obs::FlightRecorder& f : flights) {
+      out.flight_events += f.size();
+      ptrs.push_back(&f);
+    }
+    out.flight_json = obs::FlightRecorder::merge_flight(ptrs).dump(2);
   }
   return out;
 }

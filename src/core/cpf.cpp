@@ -77,6 +77,14 @@ void Cpf::deliver(Msg msg) {
         const sim::JobClass cls = job_class_of(msg);
         if (!request_pool_.admits(cls)) {
           request_pool_.count_drop(cls);
+          if (obs::FlightRecorder* fl = system_->flight()) {
+            fl->record(system_->loop().now(),
+                       cls == sim::JobClass::kAttach
+                           ? obs::FlightRecorder::Kind::kAttachShed
+                           : obs::FlightRecorder::Kind::kOverloadDrop,
+                       static_cast<std::int64_t>(msg.ue.value()), region_,
+                       "cpf");
+          }
           if (cls == sim::JobClass::kAttach) {
             ++system_->metrics().attach_sheds;
           } else {

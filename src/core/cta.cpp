@@ -88,6 +88,13 @@ void Cta::deliver_uplink(Msg msg) {
   const sim::JobClass cls = job_class_of(msg);
   if (!pool_.admits(cls)) {
     pool_.count_drop(cls);
+    if (obs::FlightRecorder* fl = system_->flight()) {
+      fl->record(system_->loop().now(),
+                 cls == sim::JobClass::kAttach
+                     ? obs::FlightRecorder::Kind::kAttachShed
+                     : obs::FlightRecorder::Kind::kOverloadDrop,
+                 static_cast<std::int64_t>(msg.ue.value()), region_, "cta");
+    }
     if (cls == sim::JobClass::kAttach) {
       ++system_->metrics().attach_sheds;
     } else {

@@ -141,11 +141,20 @@ void Frontend::arm_retx(UeCtx& ctx, UeId ue, MsgKind kind) {
       // timer, the UE abandons the exchange and rebuilds state from
       // scratch — liveness over latency.
       ++system_->metrics().retx_exhausted;
+      if (obs::FlightRecorder* fl = system_->flight()) {
+        fl->record(system_->loop().now(),
+                   obs::FlightRecorder::Kind::kRetxExhausted,
+                   static_cast<std::int64_t>(ue.value()), attempt);
+      }
       begin_reattach(ctx, ue);
       return;
     }
     ++ctx.retx_attempt;
     ++system_->metrics().nas_retransmissions;
+    if (obs::FlightRecorder* fl = system_->flight()) {
+      fl->record(system_->loop().now(), obs::FlightRecorder::Kind::kNasRetx,
+                 static_cast<std::int64_t>(ue.value()), attempt + 1);
+    }
     send_uplink(ctx, ue, kind);
   });
 }
@@ -259,6 +268,9 @@ void Frontend::complete(UeCtx& ctx, UeId ue, const Msg& /*final_msg*/) {
         {{"proc", std::string{to_string(ctx.reported_type)}}});
   }
   ++*completion_counters_[type_idx];
+  if (obs::SloTracker* slo = metrics.slo()) {
+    slo->record(system_->loop().now(), type_idx, pct_ms);
+  }
   if (obs::ProcTracer* tr = system_->tracer()) {
     if (ctx.under_failure) tr->mark_under_failure(ue);
     tr->end(ue, ctx.proc_seq, system_->loop().now());
@@ -283,6 +295,10 @@ void Frontend::begin_reattach(UeCtx& ctx, UeId ue) {
   ctx.proc_type = ProcedureType::kReattach;
   ctx.proc_seq = ctx.next_proc_seq++;
   ctx.retx_attempt = 0;  // fresh procedure, fresh NAS timers
+  if (obs::FlightRecorder* fl = system_->flight()) {
+    fl->record(system_->loop().now(), obs::FlightRecorder::Kind::kReattach,
+               static_cast<std::int64_t>(ue.value()));
+  }
   if (obs::ProcTracer* tr = system_->tracer()) {
     // The span keeps covering the procedure under its recovery seq.
     tr->annex(ue, ctx.proc_seq);

@@ -17,10 +17,15 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "core/msg.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 
 namespace neutrino::core {
 
@@ -59,6 +64,23 @@ struct Metrics {
     for (auto& r : pct_under_failure) r.use_streaming_only();
   }
 
+  /// Arm per-procedure SLO tracking (DESIGN.md §15): the frontend scores
+  /// every completed procedure against `targets` in sim-time windows of
+  /// `window`. Off (null) by default — completion costs one pointer test.
+  void arm_slo(SimTime window,
+               const std::vector<std::pair<core::ProcedureType,
+                                           obs::SloTarget>>& targets) {
+    slo_tracker = std::make_unique<obs::SloTracker>(window);
+    for (const auto& [type, target] : targets) {
+      slo_tracker->set_target(static_cast<std::size_t>(type),
+                              std::string{to_string(type)}, target);
+    }
+  }
+  [[nodiscard]] obs::SloTracker* slo() { return slo_tracker.get(); }
+  [[nodiscard]] const obs::SloTracker* slo() const {
+    return slo_tracker.get();
+  }
+
   /// Merge-on-join for sharded runs: fold one shard's metrics into this
   /// (fresh) aggregate. Counters/histograms/series go via Registry::merge;
   /// the named reference members pick the sums up automatically because
@@ -68,6 +90,13 @@ struct Metrics {
     for (std::size_t i = 0; i < kProcTypes; ++i) {
       pct[i].merge(other.pct[i]);
       pct_under_failure[i].merge(other.pct_under_failure[i]);
+    }
+    if (other.slo_tracker) {
+      if (!slo_tracker) {
+        slo_tracker =
+            std::make_unique<obs::SloTracker>(other.slo_tracker->window());
+      }
+      slo_tracker->merge(*other.slo_tracker);
     }
     cta_log_peak_bytes =
         cta_log_peak_bytes > other.cta_log_peak_bytes
@@ -106,6 +135,9 @@ struct Metrics {
   /// CTA in-memory log accounting (Fig. 17).
   std::size_t cta_log_peak_bytes = 0;
 
+  /// Per-procedure SLO burn tracking; null unless arm_slo() ran.
+  std::unique_ptr<obs::SloTracker> slo_tracker;
+
   // Overload control (DESIGN.md §13). All zero unless the ProtocolConfig
   // bounds a queue or enables NAS retransmission.
   /// New attaches shed at a bounded CTA/CPF queue's attach threshold.
@@ -118,6 +150,11 @@ struct Metrics {
       registry.counter("core.nas_retransmissions");
   /// Retry budgets exhausted: the UE gave up and re-attached.
   obs::Counter& retx_exhausted = registry.counter("core.retx_exhausted");
+
+  /// Messages handed to the cross-shard sink (sharded runs; zero in
+  /// single-shard mode). Feeds the "ts.cross_posts" windowed series.
+  obs::Counter& cross_shard_posts =
+      registry.counter("core.cross_shard_posts");
 
   /// Read-your-Writes violations observed by the frontend. The consistency
   /// protocol's correctness claim is exactly: this stays zero.

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -37,6 +38,7 @@
 #include "core/shard_link.hpp"
 #include "core/system.hpp"
 #include "core/topology.hpp"
+#include "obs/profiler.hpp"
 #include "sim/parallel/runtime.hpp"
 
 namespace neutrino::core {
@@ -116,6 +118,43 @@ class ShardedSystem {
   /// Per-shard tracer for differential tests (must outlive the run).
   void attach_tracer(std::uint32_t shard, obs::ProcTracer& tracer) {
     shards_[shard].system->attach_tracer(tracer);
+  }
+
+  /// Per-shard flight recorder (must outlive the run). Each shard records
+  /// only events for regions it owns, so FlightRecorder::merge_flight()
+  /// over the
+  /// recorders yields one duplicate-free, deterministic timeline.
+  void attach_flight_recorder(std::uint32_t shard, obs::FlightRecorder& f) {
+    shards_[shard].system->attach_flight_recorder(f);
+  }
+
+  /// Arm windowed telemetry on every shard (DESIGN.md §15). Each shard
+  /// samples its own loop at the same sim-time cadence, so the merged
+  /// series are independent of shard claiming order and thread count.
+  void arm_telemetry(SimTime window, SimTime until) {
+    for (Shard& shard : shards_) shard.system->arm_telemetry(window, until);
+  }
+
+  /// Arm per-procedure SLO burn tracking on every shard's Metrics; the
+  /// trackers fold together in merged_metrics().
+  void arm_slo(SimTime window,
+               const std::vector<std::pair<ProcedureType, obs::SloTarget>>&
+                   targets) {
+    for (Shard& shard : shards_) shard.metrics->arm_slo(window, targets);
+  }
+
+  /// Wall-clock phase profiler for the runtime's coordinator/worker loops
+  /// (never mixed into deterministic outputs; see obs/profiler.hpp).
+  void set_profiler(obs::PhaseProfiler* profiler) {
+    runtime_.set_profiler(profiler);
+  }
+
+  /// Record per-window shard activity for Perfetto export (bounded).
+  void enable_window_log(std::size_t max_windows = 2048) {
+    runtime_.enable_window_log(max_windows);
+  }
+  [[nodiscard]] const std::vector<Runtime::WindowRecord>& window_log() const {
+    return runtime_.window_log();
   }
 
   /// Drive all shards to the horizon (spawns threads−1 workers; the

@@ -1,5 +1,7 @@
 #include "core/system.hpp"
 
+#include "obs/sampler.hpp"
+
 namespace neutrino::core {
 
 // ---------------------------------------------------------------------------
@@ -290,6 +292,12 @@ void System::deliver_envelope(SimTime arrival, ShardEnvelope envelope) {
 }
 
 void System::crash_cpf(CpfId id) {
+  // Crashes are mirrored on every shard; record them only where the node
+  // is owned so merged flight dumps carry each crash exactly once.
+  if (flight_ && owns_region(cpfs_[id.value()]->region())) {
+    flight_->record(loop_->now(), obs::FlightRecorder::Kind::kCrashCpf,
+                    id.value(), cpfs_[id.value()]->region());
+  }
   cpfs_[id.value()]->crash();
   // Every CTA that might route to this CPF learns after the detection
   // delay (excluded from PCT when zero, per §6.4). Under sharding the
@@ -304,11 +312,27 @@ void System::crash_cpf(CpfId id) {
   });
 }
 
-void System::crash_cpf_silently(CpfId id) { cpfs_[id.value()]->crash(); }
+void System::crash_cpf_silently(CpfId id) {
+  if (flight_ && owns_region(cpfs_[id.value()]->region())) {
+    flight_->record(loop_->now(), obs::FlightRecorder::Kind::kCrashCpf,
+                    id.value(), cpfs_[id.value()]->region(), "silent");
+  }
+  cpfs_[id.value()]->crash();
+}
 
-void System::restore_cpf(CpfId id) { cpfs_[id.value()]->restore(); }
+void System::restore_cpf(CpfId id) {
+  if (flight_ && owns_region(cpfs_[id.value()]->region())) {
+    flight_->record(loop_->now(), obs::FlightRecorder::Kind::kRestoreCpf,
+                    id.value(), cpfs_[id.value()]->region());
+  }
+  cpfs_[id.value()]->restore();
+}
 
 void System::crash_cta(std::uint32_t region) {
+  if (flight_ && owns_region(region)) {
+    flight_->record(loop_->now(), obs::FlightRecorder::Kind::kCrashCta,
+                    region);
+  }
   ctas_[region]->crash();
   loop_->schedule_after(proto_.failure_detection, [this, region] {
     frontend_->on_cta_failure(region);
@@ -363,6 +387,107 @@ void System::sample_occupancy() {
         .add(static_cast<double>(req.depth));
     reg.gauge("cpf.request_queue_peak_depth", labels)
         .high_watermark(static_cast<double>(cpfs_[c]->request_peak_depth()));
+  }
+}
+
+void System::arm_telemetry(SimTime window, SimTime until) {
+  assert(window.ns() > 0);
+  assert(!telemetry_armed() && "telemetry armed twice");
+  telemetry_window_ = window;
+  telem_prev_ = TelemSnap{};
+  telem_prev_.regions.resize(ctas_.size());
+  // Ticks are plain sim events scheduled up front: every shard schedules
+  // the identical sequence on its own loop, so telemetry never depends on
+  // worker-thread interleaving.
+  obs::PeriodicSampler::schedule(*loop_, window, until,
+                                 [this] { sample_telemetry(); });
+}
+
+void System::sample_telemetry() {
+  const SimTime now = loop_->now();
+  const SimTime window = telemetry_window_;
+  obs::Registry& reg = metrics_->registry;
+  const std::string shard_label = std::to_string(shard_.shard);
+  const obs::Labels by_shard{{"shard", shard_label}};
+
+  // Per-shard per-window deltas. `delta` advances the snapshot in place.
+  const auto delta = [](std::uint64_t& prev, std::uint64_t now_v) {
+    const std::uint64_t d = now_v - prev;
+    prev = now_v;
+    return static_cast<double>(d);
+  };
+  reg.windowed("ts.events", window, obs::WindowAgg::kSum, by_shard)
+      .record(now, delta(telem_prev_.executed, loop_->executed()));
+  reg.windowed("ts.completions", window, obs::WindowAgg::kSum, by_shard)
+      .record(now, delta(telem_prev_.completed,
+                         metrics_->procedures_completed.value()));
+  reg.windowed("ts.cross_posts", window, obs::WindowAgg::kSum, by_shard)
+      .record(now, delta(telem_prev_.cross_posts,
+                         metrics_->cross_shard_posts.value()));
+  reg.windowed("ts.attach_sheds", window, obs::WindowAgg::kSum, by_shard)
+      .record(now, delta(telem_prev_.attach_sheds,
+                         metrics_->attach_sheds.value()));
+  reg.windowed("ts.overload_drops", window, obs::WindowAgg::kSum, by_shard)
+      .record(now, delta(telem_prev_.overload_drops,
+                         metrics_->overload_drops.value()));
+  reg.windowed("ts.nas_retx", window, obs::WindowAgg::kSum, by_shard)
+      .record(now, delta(telem_prev_.nas_retx,
+                         metrics_->nas_retransmissions.value()));
+  reg.windowed("ts.retx_exhausted", window, obs::WindowAgg::kSum, by_shard)
+      .record(now, delta(telem_prev_.retx_exhausted,
+                         metrics_->retx_exhausted.value()));
+
+  // Per owned region: point samples + per-class shed deltas. Shadow
+  // regions are skipped so each label set stays owned by one shard.
+  static constexpr std::array<const char*, sim::kJobClasses> kClassNames{
+      "control", "handover", "service", "attach"};
+  for (std::size_t r = 0; r < ctas_.size(); ++r) {
+    if (!owns_region(static_cast<std::uint32_t>(r))) continue;
+    RegionTelemSnap& snap = telem_prev_.regions[r];
+    const obs::Labels by_region{{"region", std::to_string(r)}};
+    reg.windowed("ts.cta_queue_depth", window, obs::WindowAgg::kLast,
+                 by_region)
+        .record(now, static_cast<double>(ctas_[r]->pool_occupancy().depth));
+    // Busy fraction of this window: service-time delta over core-time.
+    const std::int64_t cta_busy = ctas_[r]->pool_busy_time().ns();
+    const double cta_frac =
+        static_cast<double>(cta_busy - snap.cta_busy_ns) /
+        (static_cast<double>(window.ns()) * ctas_[r]->pool_cores());
+    snap.cta_busy_ns = cta_busy;
+    reg.windowed("ts.cta_busy_frac", window, obs::WindowAgg::kLast, by_region)
+        .record(now, cta_frac);
+
+    std::size_t cpf_depth = 0;
+    std::int64_t cpf_busy = 0;
+    std::int64_t cpf_core_ns = 0;
+    std::array<std::uint64_t, sim::kJobClasses> drops{};
+    for (const auto& cpf : cpfs_) {
+      if (cpf->region() != r) continue;
+      cpf_depth += cpf->request_occupancy().depth;
+      cpf_busy += cpf->request_busy_time().ns();
+      cpf_core_ns += window.ns() * cpf->request_cores();
+      for (std::size_t cls = 0; cls < sim::kJobClasses; ++cls) {
+        drops[cls] += cpf->request_drops(static_cast<sim::JobClass>(cls));
+      }
+    }
+    for (std::size_t cls = 0; cls < sim::kJobClasses; ++cls) {
+      drops[cls] += ctas_[r]->pool_drops(static_cast<sim::JobClass>(cls));
+    }
+    reg.windowed("ts.cpf_req_depth", window, obs::WindowAgg::kLast, by_region)
+        .record(now, static_cast<double>(cpf_depth));
+    const double cpf_frac =
+        cpf_core_ns > 0 ? static_cast<double>(cpf_busy - snap.cpf_busy_ns) /
+                              static_cast<double>(cpf_core_ns)
+                        : 0.0;
+    snap.cpf_busy_ns = cpf_busy;
+    reg.windowed("ts.cpf_busy_frac", window, obs::WindowAgg::kLast, by_region)
+        .record(now, cpf_frac);
+    for (std::size_t cls = 0; cls < sim::kJobClasses; ++cls) {
+      const obs::Labels by_class{{"region", std::to_string(r)},
+                                 {"class", kClassNames[cls]}};
+      reg.windowed("ts.shed", window, obs::WindowAgg::kSum, by_class)
+          .record(now, delta(snap.drops[cls], drops[cls]));
+    }
   }
 }
 

@@ -22,6 +22,7 @@
 #include "core/topology.hpp"
 #include "core/ue_state.hpp"
 #include "geo/hash_ring.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/server_pool.hpp"
@@ -127,6 +128,11 @@ class Cpf {
   [[nodiscard]] SimTime request_busy_time() const {
     return request_pool_.busy_time();
   }
+  /// Per-class admission rejections (windowed shed telemetry).
+  [[nodiscard]] std::uint64_t request_drops(sim::JobClass cls) const {
+    return request_pool_.drops(cls);
+  }
+  [[nodiscard]] int request_cores() const { return request_pool_.cores(); }
 
  private:
   struct Entry {
@@ -233,6 +239,11 @@ class Cta {
   [[nodiscard]] std::uint64_t pool_jobs_served() const {
     return pool_.jobs_served();
   }
+  /// Per-class admission rejections (windowed shed telemetry).
+  [[nodiscard]] std::uint64_t pool_drops(sim::JobClass cls) const {
+    return pool_.drops(cls);
+  }
+  [[nodiscard]] int pool_cores() const { return pool_.cores(); }
 
  private:
   struct LogEntry {
@@ -408,6 +419,15 @@ class System {
   void detach_tracer() { tracer_ = nullptr; }
   [[nodiscard]] obs::ProcTracer* tracer() { return tracer_; }
 
+  /// Flight recording is off (one null test per site) until a recorder is
+  /// attached; one recorder per System (per shard). The recorder must
+  /// outlive the attachment.
+  void attach_flight_recorder(obs::FlightRecorder& flight) {
+    flight_ = &flight;
+  }
+  void detach_flight_recorder() { flight_ = nullptr; }
+  [[nodiscard]] obs::FlightRecorder* flight() { return flight_; }
+
   /// Chaos-harness attachment points (DESIGN.md §12): the online
   /// invariant checker observes UE-visible milestones; the fault knobs
   /// plant deliberate bugs for the checker's teeth tests. Both are inert
@@ -494,6 +514,20 @@ class System {
   /// (obs::PeriodicSampler); nothing is scheduled here.
   void sample_occupancy();
 
+  /// Windowed telemetry (DESIGN.md §15): schedules a sample_telemetry()
+  /// tick every `window` of sim-time up to `until` on this System's loop.
+  /// Off by default; each tick records per-window counter deltas (sheds,
+  /// drops, retransmissions, events, cross-shard posts) and point samples
+  /// (queue depth, busy fraction) into the registry's windowed series,
+  /// labeled by shard/region so sharded merges stay deterministic.
+  void arm_telemetry(SimTime window, SimTime until);
+  [[nodiscard]] bool telemetry_armed() const {
+    return telemetry_window_.ns() > 0;
+  }
+  /// One telemetry tick (called by the armed sampler; tests may call it
+  /// directly). Skips regions this shard does not own.
+  void sample_telemetry();
+
  private:
   /// Record a propagation hop for `msg` departing now over a link of the
   /// given latency (no-op unless a tracer is attached).
@@ -509,6 +543,7 @@ class System {
   /// (arrival = now + latency, already past the current window's end).
   void post_remote(ShardEnvelope::Dest dest, std::uint32_t dest_id,
                    std::uint32_t dest_region, SimTime latency, Msg msg) {
+    ++metrics_->cross_shard_posts;
     shard_.sink->post(shard_of_region(dest_region), loop_->now() + latency,
                       ShardEnvelope{dest, dest_id, std::move(msg)});
   }
@@ -522,9 +557,30 @@ class System {
   ShardSpec shard_;
   std::uint32_t regions_per_shard_ = 1;
   obs::ProcTracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   InvariantObserver* invariant_observer_ = nullptr;
   FaultInjection faults_;
   MsgPool msg_pool_;
+
+  // Windowed-telemetry state (arm_telemetry): previous-tick counter
+  // snapshots so each tick records per-window deltas. Sim-time only.
+  SimTime telemetry_window_;  ///< zero = off
+  struct RegionTelemSnap {
+    std::int64_t cta_busy_ns = 0;
+    std::int64_t cpf_busy_ns = 0;
+    std::array<std::uint64_t, sim::kJobClasses> drops{};
+  };
+  struct TelemSnap {
+    std::uint64_t executed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cross_posts = 0;
+    std::uint64_t attach_sheds = 0;
+    std::uint64_t overload_drops = 0;
+    std::uint64_t nas_retx = 0;
+    std::uint64_t retx_exhausted = 0;
+    std::vector<RegionTelemSnap> regions;
+  };
+  TelemSnap telem_prev_;
 
   std::vector<std::unique_ptr<Cta>> ctas_;
   std::vector<std::unique_ptr<Cpf>> cpfs_;

@@ -23,6 +23,7 @@
 
 #include "common/clock.hpp"
 #include "common/stats.hpp"
+#include "obs/timeseries.hpp"
 
 namespace neutrino::obs {
 
@@ -111,6 +112,14 @@ class Registry {
   TimeSeries& time_series(std::string_view name, const Labels& labels = {}) {
     return series_[key(name, labels)].instrument;
   }
+  /// Fixed-interval windowed series (DESIGN.md §15). `window`/`agg` apply
+  /// on first use; later lookups must pass the same parameters.
+  WindowedSeries& windowed(std::string_view name, SimTime window,
+                           WindowAgg agg, const Labels& labels = {}) {
+    WindowedSeries& w = windowed_[key(name, labels)].instrument;
+    w.configure(window, agg);
+    return w;
+  }
 
   /// Lookup without creation; nullptr if the instrument was never touched.
   [[nodiscard]] const Counter* find_counter(std::string_view name,
@@ -124,6 +133,10 @@ class Registry {
   [[nodiscard]] const TimeSeries* find_time_series(
       std::string_view name, const Labels& labels = {}) const {
     return find(series_, name, labels);
+  }
+  [[nodiscard]] const WindowedSeries* find_windowed(
+      std::string_view name, const Labels& labels = {}) const {
+    return find(windowed_, name, labels);
   }
 
   /// Visitors iterate in key order (name, then labels) — deterministic
@@ -144,12 +157,18 @@ class Registry {
   void for_each_time_series(F&& f) const {
     for (const auto& [k, cell] : series_) f(k, cell.instrument);
   }
+  template <class F>
+  void for_each_windowed(F&& f) const {
+    for (const auto& [k, cell] : windowed_) f(k, cell.instrument);
+  }
 
   /// Fold another registry in (per-shard instruments joining at the end
   /// of a sharded run): counters add, gauges keep the high watermark,
-  /// histograms merge distributions, time series concatenate. Each label
-  /// set is owned by exactly one shard (System::sample_occupancy skips
-  /// shadow nodes), so concatenation preserves per-series time order.
+  /// histograms merge distributions, time series concatenate, windowed
+  /// series combine same-index buckets by their aggregation kind. Each
+  /// label set is owned by exactly one shard (System::sample_occupancy
+  /// and sample_telemetry skip shadow nodes), so concatenation preserves
+  /// per-series time order.
   void merge(const Registry& other) {
     for (const auto& [k, cell] : other.counters_) {
       counters_[k].instrument += cell.instrument.value();
@@ -165,6 +184,9 @@ class Registry {
       for (const TimeSeries::Point& p : cell.instrument.points()) {
         dst.push(p.at, p.value);
       }
+    }
+    for (const auto& [k, cell] : other.windowed_) {
+      windowed_[k].instrument.merge(cell.instrument);
     }
   }
 
@@ -203,6 +225,7 @@ class Registry {
   std::map<std::string, Cell<Gauge>> gauges_;
   std::map<std::string, Cell<LatencyRecorder>> histograms_;
   std::map<std::string, Cell<TimeSeries>> series_;
+  std::map<std::string, Cell<WindowedSeries>> windowed_;
 };
 
 }  // namespace neutrino::obs

@@ -8,6 +8,7 @@
 #include "common/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
 
 namespace neutrino::obs {
 
@@ -18,7 +19,11 @@ inline constexpr std::string_view kBenchReportSchema = "neutrino.bench-report";
 //   2 — every row carries "mode" ("single-thread" | "sharded"); sharded
 //       rows add shards/threads/windows/cross_shard_messages/shard_events
 //       (the sharded-runtime scaling figures, DESIGN.md §11).
-inline constexpr int kBenchReportVersion = 2;
+//   3 — telemetry sections (DESIGN.md §15): rows may add "timeseries"
+//       (fixed-interval windowed series), "slo" (per-procedure targets +
+//       windowed burn rates) and "profiler" (wall-clock phase shares —
+//       nondeterministic by design, never compared byte-for-byte).
+inline constexpr int kBenchReportVersion = 3;
 
 /// count/mean/p50/p90/p99/p999/max of a recorder, as a JSON object.
 inline Json summary_json(const LatencyRecorder& r) {
@@ -85,6 +90,45 @@ inline Json time_series_json(const Registry& reg,
       Json pair;
       pair.push_back(p.at.ms());
       pair.push_back(p.value);
+      pts.push_back(std::move(pair));
+    }
+  });
+  return j;
+}
+
+/// Windowed telemetry (schema v3 "timeseries" section):
+/// {window_ms, series: {key: {agg, n, max, points: [[t_ms, v], ...]}}}
+/// where t_ms is the window's *start*. Every series ticks every window
+/// (zeros included), so all series in one run share the same length; the
+/// downsampling stride is computed once from that common length, keeping
+/// exported lengths equal too (validate_report.py checks this).
+inline Json windowed_series_json(const Registry& reg,
+                                 std::size_t max_points = 256) {
+  Json j;
+  double window_ms = 0.0;
+  std::size_t longest = 0;
+  reg.for_each_windowed([&](const std::string&, const WindowedSeries& ws) {
+    if (ws.configured()) window_ms = ws.window().ms();
+    longest = ws.buckets().size() > longest ? ws.buckets().size() : longest;
+  });
+  j["window_ms"] = window_ms;
+  const std::size_t stride =
+      longest > max_points ? (longest + max_points - 1) / max_points : 1;
+  Json& series = j["series"];
+  series.make_object();
+  reg.for_each_windowed([&](const std::string& key, const WindowedSeries& ws) {
+    if (ws.empty()) return;
+    Json& entry = series[key];
+    entry["agg"] = window_agg_name(ws.agg());
+    entry["n"] = ws.buckets().size();
+    entry["max"] = ws.max();
+    Json& pts = entry["points"];
+    pts.make_array();
+    for (std::size_t i = 0; i < ws.buckets().size(); i += stride) {
+      const WindowedSeries::Bucket& b = ws.buckets()[i];
+      Json pair;
+      pair.push_back(ws.bucket_start(b).ms());
+      pair.push_back(b.value);
       pts.push_back(std::move(pair));
     }
   });

@@ -50,4 +50,36 @@ inline std::size_t peak_rss_bytes() {
 #endif
 }
 
+/// Ordering-independent RSS accounting for multi-run benches.
+///
+/// ru_maxrss is a process-lifetime watermark: once any run has touched N
+/// bytes, every later sample reads ≥ N, so reporting the raw value made
+/// row order matter (PR 5's fig_saturation had to run its unbounded
+/// baseline last). RssMeter reports each run as a *delta of the
+/// watermark*: how much this run pushed the peak beyond everything before
+/// it. A run that stays under an earlier peak reports 0 — accurate ("did
+/// not raise the peak") and the same in any order that keeps the largest
+/// run largest.
+class RssMeter {
+ public:
+  /// Capture the bench-start baseline (record it in the report config).
+  RssMeter() : baseline_(peak_rss_bytes()), mark_(baseline_) {}
+
+  [[nodiscard]] std::size_t baseline_bytes() const { return baseline_; }
+
+  /// Call before a run: remembers the current watermark.
+  void begin_run() { mark_ = peak_rss_bytes(); }
+
+  /// Call after the run: watermark growth attributable to it (0 if the
+  /// run stayed under a previously reached peak).
+  [[nodiscard]] std::size_t run_delta_bytes() const {
+    const std::size_t now = peak_rss_bytes();
+    return now > mark_ ? now - mark_ : 0;
+  }
+
+ private:
+  std::size_t baseline_;
+  std::size_t mark_;
+};
+
 }  // namespace neutrino::obs

@@ -43,6 +43,7 @@
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "obs/profiler.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/parallel/barrier.hpp"
 #include "sim/parallel/spsc_queue.hpp"
@@ -68,6 +69,18 @@ class ShardedRuntime {
   struct Stats {
     std::uint64_t windows = 0;          ///< barrier-bounded windows executed
     std::uint64_t cross_messages = 0;   ///< envelopes drained at barriers
+  };
+
+  /// One conservative window as seen by the coordinator (sim-time bounds,
+  /// cross-shard traffic, and per-shard events executed). Deterministic —
+  /// derived purely from sim state — so it is safe to export (the Perfetto
+  /// shard tracks in obs/trace_export.hpp) and to compare across thread
+  /// counts. Collected only after enable_window_log().
+  struct WindowRecord {
+    SimTime start;
+    SimTime end;
+    std::uint64_t cross_messages = 0;       ///< drained at this boundary
+    std::vector<std::uint64_t> executed;    ///< per-shard events this window
   };
 
   explicit ShardedRuntime(const Config& config)
@@ -103,6 +116,30 @@ class ShardedRuntime {
   Rng& rng(std::size_t shard) { return rngs_[shard]; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Attach a wall-clock phase profiler (null detaches). Lanes: dispatch
+  /// and drain are attributed per shard / to lane 0; barrier waits per
+  /// thread (coordinator = 0, workers = 1..threads−1). The profiler must
+  /// have ≥ max(shards, threads) lanes and outlive run_until(). Wall-clock
+  /// only — never feeds any deterministic output (DESIGN.md §15).
+  void set_profiler(obs::PhaseProfiler* profiler) { profiler_ = profiler; }
+
+  /// Start recording per-window activity (bounded: recording stops after
+  /// `max_windows`; window_log_truncated() tells).
+  void enable_window_log(std::size_t max_windows = 2048) {
+    window_log_max_ = max_windows;
+    window_log_.clear();
+    window_log_.reserve(max_windows < 256 ? max_windows : 256);
+    prev_executed_.assign(n_, 0);
+    for (std::size_t i = 0; i < n_; ++i) prev_executed_[i] = loops_[i].executed();
+    prev_cross_ = stats_.cross_messages;
+  }
+  [[nodiscard]] const std::vector<WindowRecord>& window_log() const {
+    return window_log_;
+  }
+  [[nodiscard]] bool window_log_truncated() const {
+    return window_log_max_ > 0 && stats_.windows > window_log_.size();
+  }
+
   /// Total events dispatched across all shard loops.
   [[nodiscard]] std::uint64_t events_executed() const {
     std::uint64_t total = 0;
@@ -131,34 +168,64 @@ class ShardedRuntime {
     std::vector<std::thread> workers;
     workers.reserve(n_workers);
     for (std::size_t i = 0; i < n_workers; ++i) {
-      workers.emplace_back([this] { worker_loop(); });
+      workers.emplace_back([this, i] { worker_loop(i + 1); });
     }
 
     for (;;) {
       SimTime window_start = SimTime::max();
-      for (EventLoop& l : loops_) {
-        window_start = std::min(window_start, l.next_time());
+      {
+        auto sched = obs::PhaseProfiler::scoped(profiler_, 0,
+                                                obs::Phase::kSchedule);
+        for (EventLoop& l : loops_) {
+          window_start = std::min(window_start, l.next_time());
+        }
       }
       if (window_start == SimTime::max() || window_start > horizon) break;
       window_end_ = window_end_for(window_start, horizon);
       in_window_ = true;
       ++stats_.windows;
       claim_.store(0, std::memory_order_relaxed);
-      if (n_workers > 0) start_.arrive_and_wait();
+      if (n_workers > 0) {
+        auto wait = obs::PhaseProfiler::scoped(profiler_, 0,
+                                               obs::Phase::kBarrierWait);
+        start_.arrive_and_wait();
+      }
       work();
-      if (n_workers > 0) done_.arrive_and_wait();
+      if (n_workers > 0) {
+        auto wait = obs::PhaseProfiler::scoped(profiler_, 0,
+                                               obs::Phase::kBarrierWait);
+        done_.arrive_and_wait();
+      }
       in_window_ = false;
       // Workers are parked between barriers: the coordinating thread owns
       // every channel and destination loop here. Fixed (dst, src, FIFO)
       // drain order ⇒ thread-count-independent seq assignment.
-      for (std::size_t dst = 0; dst < n_; ++dst) {
-        for (std::size_t src = 0; src < n_; ++src) {
-          if (src == dst) continue;
-          stats_.cross_messages +=
-              channels_[src * n_ + dst].drain([&](Entry&& e) {
-                deliver(dst, e.arrival, std::move(e.payload));
-              });
+      {
+        auto drain = obs::PhaseProfiler::scoped(profiler_, 0,
+                                                obs::Phase::kChannelDrain);
+        for (std::size_t dst = 0; dst < n_; ++dst) {
+          for (std::size_t src = 0; src < n_; ++src) {
+            if (src == dst) continue;
+            stats_.cross_messages +=
+                channels_[src * n_ + dst].drain([&](Entry&& e) {
+                  deliver(dst, e.arrival, std::move(e.payload));
+                });
+          }
         }
+      }
+      if (window_log_max_ > 0 && window_log_.size() < window_log_max_) {
+        WindowRecord rec;
+        rec.start = window_start;
+        rec.end = window_end_;
+        rec.cross_messages = stats_.cross_messages - prev_cross_;
+        prev_cross_ = stats_.cross_messages;
+        rec.executed.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+          const std::uint64_t now_exec = loops_[i].executed();
+          rec.executed[i] = now_exec - prev_executed_[i];
+          prev_executed_[i] = now_exec;
+        }
+        window_log_.push_back(std::move(rec));
       }
     }
 
@@ -189,16 +256,26 @@ class ShardedRuntime {
     const SimTime end = window_end_;
     for (std::size_t i = claim_.fetch_add(1, std::memory_order_relaxed);
          i < n_; i = claim_.fetch_add(1, std::memory_order_relaxed)) {
+      auto dispatch = obs::PhaseProfiler::scoped(profiler_, i,
+                                                 obs::Phase::kDispatch);
       loops_[i].run_until(end);
     }
   }
 
-  void worker_loop() {
+  void worker_loop(std::size_t lane) {
     for (;;) {
-      start_.arrive_and_wait();
+      {
+        auto wait = obs::PhaseProfiler::scoped(profiler_, lane,
+                                               obs::Phase::kBarrierWait);
+        start_.arrive_and_wait();
+      }
       if (stop_.load(std::memory_order_relaxed)) return;
       work();
-      done_.arrive_and_wait();
+      {
+        auto wait = obs::PhaseProfiler::scoped(profiler_, lane,
+                                               obs::Phase::kBarrierWait);
+        done_.arrive_and_wait();
+      }
     }
   }
 
@@ -219,6 +296,14 @@ class ShardedRuntime {
   bool in_window_ = false;
 
   Stats stats_;
+
+  // Observability (coordinator-only state; workers touch only profiler_,
+  // whose cells are atomic).
+  obs::PhaseProfiler* profiler_ = nullptr;
+  std::size_t window_log_max_ = 0;
+  std::vector<WindowRecord> window_log_;
+  std::vector<std::uint64_t> prev_executed_;
+  std::uint64_t prev_cross_ = 0;
 };
 
 }  // namespace neutrino::sim::parallel

@@ -198,5 +198,48 @@ TEST(ChaosReproCorpus, OverloadArtifactsActuallyOverload) {
   }
 }
 
+TEST(ChaosReproCorpus, FlightDumpsAreReplayableAndDeterministic) {
+  if (std::getenv("NEUTRINO_REPRO_REGEN") != nullptr) {
+    GTEST_SKIP() << "regenerating corpus";
+  }
+  // The campaign writes a merged flight-recorder dump next to every
+  // `.chaos-repro` artifact. That dump is only useful if replaying the
+  // artifact reproduces it: same schedule, same history — byte for byte,
+  // on both runtimes, at any worker-thread count.
+  for (const auto& [name, schedule] : corpus_recipes()) {
+    RunConfig rc;
+    rc.record_flight = true;
+    rc.flight_capacity = 4096;  // large enough that nothing is evicted
+    const RunOutcome a = run_schedule(schedule, rc, costs());
+    EXPECT_GT(a.flight_events, 0u) << name;
+    EXPECT_NE(a.flight_json.find("neutrino.flight-recorder"),
+              std::string::npos)
+        << name;
+    EXPECT_NE(a.flight_json.find("\"events\""), std::string::npos) << name;
+    // The dump corroborates the outcome counters.
+    if (a.attach_sheds > 0) {
+      EXPECT_NE(a.flight_json.find("attach_shed"), std::string::npos) << name;
+    }
+    if (a.nas_retransmissions > 0) {
+      EXPECT_NE(a.flight_json.find("nas_retx"), std::string::npos) << name;
+    }
+
+    // Replay round-trip: a second run reproduces the dump exactly.
+    const RunOutcome b = run_schedule(schedule, rc, costs());
+    EXPECT_EQ(a.flight_json, b.flight_json) << name;
+
+    // Sharded merge is worker-thread-count independent.
+    RunConfig sharded = rc;
+    sharded.use_sharded = true;
+    sharded.shards = 2;
+    sharded.threads = 1;
+    const RunOutcome s1 = run_schedule(schedule, sharded, costs());
+    sharded.threads = 2;
+    const RunOutcome s2 = run_schedule(schedule, sharded, costs());
+    EXPECT_GT(s1.flight_events, 0u) << name;
+    EXPECT_EQ(s1.flight_json, s2.flight_json) << name;
+  }
+}
+
 }  // namespace
 }  // namespace neutrino::chaos

@@ -15,6 +15,9 @@
 
 #include "core/sharded_system.hpp"
 #include "core/system.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "trace/workload.hpp"
@@ -79,12 +82,32 @@ std::vector<trace::TraceRecord> make_storm_trace(int regions) {
   return recs;
 }
 
+/// Telemetry cadence and horizon every run (legacy and sharded) arms, so
+/// the serialized telemetry below is comparable byte for byte.
+constexpr SimTime kTelemetryWindow = SimTime::milliseconds(50);
+constexpr SimTime kHorizon = SimTime::seconds(5);
+
+std::vector<std::pair<core::ProcedureType, obs::SloTarget>> slo_targets() {
+  using PT = core::ProcedureType;
+  return {
+      {PT::kAttach, {1.0, 2.0, 4.0}},
+      {PT::kServiceRequest, {0.5, 1.0, 2.0}},
+      {PT::kReattach, {2.0, 4.0, 8.0}},
+      {PT::kTau, {0.5, 1.0, 2.0}},
+  };
+}
+
 struct ShardRun {
   core::Metrics metrics;              // merged across shards
   std::vector<std::string> dumps;     // per-shard tracer timelines
   std::uint64_t windows = 0;
   std::uint64_t cross_messages = 0;
   std::uint64_t events = 0;
+  // Deep-telemetry layer, serialized (DESIGN.md §15): all three must be
+  // byte-identical across worker-thread counts.
+  std::string telemetry_json;         // merged windowed series
+  std::string slo_json;               // merged SLO burn tracker
+  std::string flight_json;            // merged flight recorders
 };
 
 ShardRun run_sharded(std::uint32_t shards, std::uint32_t threads,
@@ -104,11 +127,17 @@ ShardRun run_sharded(std::uint32_t shards, std::uint32_t threads,
   tc.record_events = true;
   tc.keep_all = true;
   std::vector<std::unique_ptr<obs::ProcTracer>> tracers;
+  std::vector<obs::FlightRecorder> flights;
+  flights.reserve(shards);
   for (std::uint32_t s = 0; s < shards; ++s) {
     tracers.push_back(std::make_unique<obs::ProcTracer>(
         tc, &sys.metrics(s).registry));
     sys.attach_tracer(s, *tracers.back());
+    flights.emplace_back(/*capacity=*/128);
+    sys.attach_flight_recorder(s, flights.back());
   }
+  sys.arm_telemetry(kTelemetryWindow, kHorizon);
+  sys.arm_slo(kTelemetryWindow, slo_targets());
 
   const auto regions =
       static_cast<std::uint32_t>(cfg.topo.total_regions());
@@ -124,13 +153,21 @@ ShardRun run_sharded(std::uint32_t shards, std::uint32_t threads,
     sys.schedule_crash(SimTime::milliseconds(120), doomed);
     sys.schedule_restore(SimTime::milliseconds(320), doomed);
   }
-  sys.run_until(SimTime::seconds(5));
+  sys.run_until(kHorizon);
 
   ShardRun run{sys.merged_metrics(), {}, sys.stats().windows,
           sys.stats().cross_messages, sys.events_executed()};
   for (auto& tracer : tracers) {
     run.dumps.push_back(tracer->dump_json().dump(0));
   }
+  run.telemetry_json =
+      obs::windowed_series_json(run.metrics.registry).dump(0);
+  if (const obs::SloTracker* slo = run.metrics.slo()) {
+    run.slo_json = slo->json().dump(0);
+  }
+  std::vector<const obs::FlightRecorder*> flight_ptrs;
+  for (const obs::FlightRecorder& f : flights) flight_ptrs.push_back(&f);
+  run.flight_json = obs::FlightRecorder::merge_flight(flight_ptrs).dump(0);
   return run;
 }
 
@@ -157,6 +194,12 @@ void expect_identical(const ShardRun& a, const ShardRun& b, const char* label) {
   for (std::size_t s = 0; s < a.dumps.size(); ++s) {
     EXPECT_EQ(a.dumps[s], b.dumps[s]) << label << " shard " << s;
   }
+  // Deep telemetry must not observe the thread count: series, SLO burn
+  // windows and the merged flight timeline are compared as serialized
+  // bytes, the strictest equality available.
+  EXPECT_EQ(a.telemetry_json, b.telemetry_json) << label << " telemetry";
+  EXPECT_EQ(a.slo_json, b.slo_json) << label << " slo";
+  EXPECT_EQ(a.flight_json, b.flight_json) << label << " flight";
 }
 
 // ---------------------------------------------------------------------------
@@ -175,13 +218,17 @@ TEST(ParallelDeterminism, OneShardMatchesLegacySystem) {
   tc.keep_all = true;
   obs::ProcTracer legacy_tracer(tc, &legacy_metrics.registry);
   legacy.attach_tracer(legacy_tracer);
+  obs::FlightRecorder legacy_flight(/*capacity=*/128);
+  legacy.attach_flight_recorder(legacy_flight);
+  legacy.arm_telemetry(kTelemetryWindow, kHorizon);
+  legacy_metrics.arm_slo(kTelemetryWindow, slo_targets());
   trace::replay(legacy, make_trace(4));
   const CpfId doomed = legacy.primary_cpf_for(UeId{0}, 0);
   loop.schedule_at(SimTime::milliseconds(120),
                    [&legacy, doomed] { legacy.crash_cpf(doomed); });
   loop.schedule_at(SimTime::milliseconds(320),
                    [&legacy, doomed] { legacy.restore_cpf(doomed); });
-  loop.run_until(SimTime::seconds(5));
+  loop.run_until(kHorizon);
 
   const ShardRun sharded = run_sharded(/*shards=*/1, /*threads=*/1,
                                   /*with_crash=*/true, /*preattached=*/0);
@@ -213,6 +260,16 @@ TEST(ParallelDeterminism, OneShardMatchesLegacySystem) {
   }
   ASSERT_EQ(sharded.dumps.size(), 1u);
   EXPECT_EQ(legacy_tracer.dump_json().dump(0), sharded.dumps[0]);
+
+  // Telemetry parity: the legacy System with telemetry armed produces the
+  // same windowed series, SLO windows and flight timeline as the 1-shard
+  // runtime, byte for byte.
+  EXPECT_EQ(obs::windowed_series_json(legacy_metrics.registry).dump(0),
+            sharded.telemetry_json);
+  ASSERT_NE(legacy_metrics.slo(), nullptr);
+  EXPECT_EQ(legacy_metrics.slo()->json().dump(0), sharded.slo_json);
+  EXPECT_EQ(obs::FlightRecorder::merge_flight({&legacy_flight}).dump(0),
+            sharded.flight_json);
 }
 
 // ---------------------------------------------------------------------------
@@ -233,6 +290,12 @@ TEST(ParallelDeterminism, FourShardsIdenticalAcrossThreadCounts) {
                 t1.metrics.reattaches,
             0u);
   EXPECT_EQ(t1.metrics.ryw_violations, 0u);
+  // Telemetry really sampled: windowed series exist, the SLO tracker saw
+  // completions, and the crash/restore injections hit the flight ring.
+  EXPECT_NE(t1.telemetry_json.find("ts.events"), std::string::npos);
+  EXPECT_FALSE(t1.slo_json.empty());
+  EXPECT_NE(t1.flight_json.find("crash_cpf"), std::string::npos);
+  EXPECT_NE(t1.flight_json.find("restore_cpf"), std::string::npos);
 
   const ShardRun t2 = run_sharded(4, 2, true, 0);
   const ShardRun t4 = run_sharded(4, 4, true, 0);
@@ -262,6 +325,10 @@ TEST(ParallelDeterminism, OverloadBackpressureIdenticalAcrossThreadCounts) {
   EXPECT_GT(t1.metrics.nas_retransmissions, 0u);
   EXPECT_GT(t1.metrics.procedures_completed, 200u);
   EXPECT_EQ(t1.metrics.ryw_violations, 0u);
+  // The overload machinery shows up in the flight timeline and the shed
+  // series — the dumps chaos ships with a reproducer carry real signal.
+  EXPECT_NE(t1.flight_json.find("nas_retx"), std::string::npos);
+  EXPECT_NE(t1.telemetry_json.find("ts.shed"), std::string::npos);
 
   const ShardRun t2 = run_sharded(4, 2, true, 0, overload_test_proto(), true);
   const ShardRun t4 = run_sharded(4, 4, true, 0, overload_test_proto(), true);
