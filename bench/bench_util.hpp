@@ -60,6 +60,11 @@ struct ExperimentResult {
   std::uint32_t threads = 1;
   std::uint64_t windows = 0;
   std::uint64_t cross_shard_messages = 0;
+  /// Adaptive-window accounting (deterministic; zero with the static
+  /// schedule): shard-windows widened past the static bound, and
+  /// shard-windows skipped because nothing preceded their horizon.
+  std::uint64_t adaptive_extensions = 0;
+  std::uint64_t dispatches_skipped = 0;
   std::vector<std::uint64_t> shard_events;
   /// Retained for --trace-out export when the run traced (null otherwise).
   std::unique_ptr<obs::ProcTracer> tracer;
@@ -93,6 +98,13 @@ struct ExperimentConfig {
   /// Retain hop-event timelines (slowest + failed spans) for Perfetto
   /// export; in sharded runs also log per-window shard activity.
   bool record_trace_events = false;
+  /// Sharded runs only: per-destination adaptive windows (DESIGN.md §16).
+  /// Benches default on — outcome determinism across thread counts is
+  /// unaffected and window count drops sharply; the scale bench emits an
+  /// explicit adaptive-off row for comparison.
+  bool adaptive_lookahead = true;
+  /// Sharded runs only: boundary drain staging batch (0 = unstaged).
+  std::size_t drain_batch = 64;
 };
 
 /// Default per-procedure SLO targets for bench telemetry, loose enough
@@ -187,6 +199,8 @@ inline ExperimentResult run_sharded_experiment(
   scfg.proto = cfg.proto;
   scfg.shards = shards;
   scfg.threads = threads;
+  scfg.adaptive_lookahead = cfg.adaptive_lookahead;
+  scfg.drain_batch = cfg.drain_batch;
   scfg.streaming_pct = cfg.streaming_pct;
   core::ShardedSystem sys(scfg, measured_costs());
   sys.set_profiler(profiler);
@@ -205,11 +219,14 @@ inline ExperimentResult run_sharded_experiment(
   obs::WallTimer wall;
   sys.run_until(horizon);
   const double wall_seconds = wall.seconds();
-  ExperimentResult result{sys.merged_metrics(),  horizon.sec(),
-                          sys.events_executed(), wall_seconds,
-                          shards,                threads,
-                          sys.stats().windows,   sys.stats().cross_messages,
-                          sys.shard_events()};
+  ExperimentResult result{sys.merged_metrics(), horizon.sec(),
+                          sys.events_executed(), wall_seconds, shards,
+                          threads};
+  result.windows = sys.stats().windows;
+  result.cross_shard_messages = sys.stats().cross_messages;
+  result.adaptive_extensions = sys.stats().adaptive_extensions;
+  result.dispatches_skipped = sys.stats().dispatches_skipped;
+  result.shard_events = sys.shard_events();
   if (cfg.record_trace_events) {
     for (const auto& w : sys.window_log()) {
       result.window_log.push_back(
@@ -288,6 +305,11 @@ struct BenchOptions {
   /// --trace-out=PATH: write a Chrome/Perfetto trace-event JSON of the
   /// run (procedure hop spans + shard window tracks) to PATH.
   std::string trace_out;
+  /// --adaptive-lookahead=0|1: per-destination adaptive windows for the
+  /// sharded rows (default on; see ExperimentConfig::adaptive_lookahead).
+  bool adaptive_lookahead = true;
+  /// --drain-batch=N: boundary drain staging batch (0 = unstaged).
+  std::size_t drain_batch = 64;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -323,6 +345,13 @@ struct BenchOptions {
             std::strtod(std::string{arg.substr(22)}.c_str(), nullptr);
       } else if (arg.rfind("--trace-out=", 0) == 0) {
         o.trace_out = arg.substr(12);
+      } else if (arg.rfind("--adaptive-lookahead=", 0) == 0) {
+        o.adaptive_lookahead =
+            std::strtoul(std::string{arg.substr(21)}.c_str(), nullptr, 10) !=
+            0;
+      } else if (arg.rfind("--drain-batch=", 0) == 0) {
+        o.drain_batch = static_cast<std::size_t>(
+            std::strtoul(std::string{arg.substr(14)}.c_str(), nullptr, 10));
       }
     }
     return o;
@@ -416,6 +445,8 @@ class Report {
       row["threads"] = result.threads;
       row["windows"] = result.windows;
       row["cross_shard_messages"] = result.cross_shard_messages;
+      row["adaptive_extensions"] = result.adaptive_extensions;
+      row["dispatches_skipped"] = result.dispatches_skipped;
       obs::Json& per_shard = row["shard_events"];
       per_shard.make_array();
       for (const std::uint64_t e : result.shard_events) per_shard.push_back(e);

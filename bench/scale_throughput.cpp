@@ -153,9 +153,55 @@ int main(int argc, char** argv) {
     cfg.proto = core::ProtocolConfig{};
     cfg.streaming_pct = true;
     cfg.telemetry_window = opts.telemetry_window();
+    cfg.adaptive_lookahead = opts.adaptive_lookahead;
+    cfg.drain_batch = opts.drain_batch;
     report.config()["shards"] = shards;
     report.config()["sharded_regions"] = cfg.topo.total_regions();
+    report.config()["adaptive_lookahead"] = opts.adaptive_lookahead;
+    report.config()["drain_batch"] =
+        static_cast<std::uint64_t>(opts.drain_batch);
 
+    // Legacy single-threaded System over the *same partitioned topology*:
+    // the honest denominator for shard-sync overhead. Comparing sharded
+    // rows against the 1-region row above would conflate the topology
+    // change (more regions, remote backups) with the runtime's window/
+    // barrier/channel machinery; this row isolates the latter. check.sh's
+    // perf gate reads it via "sharded_baseline": true.
+    double baseline_wall = 0.0;
+    {
+      rss_meter.begin_run();
+      auto result = bench::run_experiment(cfg, t);
+      const std::size_t rss_delta = rss_meter.run_delta_bytes();
+      baseline_wall = result.wall_seconds;
+      const double events_per_sec =
+          result.wall_seconds > 0
+              ? static_cast<double>(result.events_executed) /
+                    result.wall_seconds
+              : 0.0;
+      std::printf("scale\t%s\tsharded-topo-baseline\tues=%" PRIu64
+                  "\tevents=%" PRIu64 "\twall_s=%.3f\tevents_per_sec=%.0f\n",
+                  std::string(cfg.policy.name).c_str(), n_ues,
+                  result.events_executed, result.wall_seconds,
+                  events_per_sec);
+      obs::Json& row = report.new_row(cfg.policy.name);
+      row["ues"] = n_ues;
+      row["sharded_baseline"] = true;
+      row["events_executed"] = result.events_executed;
+      row["wall_seconds"] = result.wall_seconds;
+      row["events_per_sec"] = events_per_sec;
+      row["peak_rss_bytes"] = obs::peak_rss_bytes();
+      row["peak_rss_delta_bytes"] = static_cast<std::uint64_t>(rss_delta);
+      bench::Report::attach_result(row, result);
+      if (result.metrics.procedures_completed !=
+              result.metrics.procedures_started ||
+          result.metrics.ryw_violations != 0) {
+        std::fprintf(stderr, "scale_throughput: FAILED sharded-topo "
+                             "baseline\n");
+        ok = false;
+      }
+    }
+
+    double threads1_wall = 0.0;
     for (std::size_t ti = 0; ti < opts.threads.size(); ++ti) {
       const std::uint32_t threads = opts.threads[ti];
       // --trace-out: the last (widest) sharded row logs its conservative
@@ -215,8 +261,11 @@ int main(int argc, char** argv) {
           core::ProcedureType::kAttach));
       row["service_request_ms"] = streaming_summary(result.metrics.pct_for(
           core::ProcedureType::kServiceRequest));
+      row["adaptive_lookahead"] = opts.adaptive_lookahead;
+      row["drain_batch"] = static_cast<std::uint64_t>(opts.drain_batch);
       bench::Report::attach_result(row, result);
       bench::Report::attach_profiler(row, profiler);
+      if (threads == 1) threads1_wall = result.wall_seconds;
 
       if (completed != started || ryw != 0) {
         std::fprintf(stderr,
@@ -226,6 +275,53 @@ int main(int argc, char** argv) {
                      shards, threads, completed, started, ryw);
         ok = false;
       }
+    }
+    // Window-policy A/B at threads=1: one extra row with the adaptive
+    // setting flipped, so BENCH_scale.json always carries both the
+    // adaptive-on and adaptive-off numbers for this shard count.
+    if (shards > 1) {
+      bench::ExperimentConfig flipped = cfg;
+      flipped.record_trace_events = false;
+      flipped.adaptive_lookahead = !opts.adaptive_lookahead;
+      rss_meter.begin_run();
+      auto result = bench::run_sharded_experiment(flipped, t, shards, 1);
+      const std::size_t rss_delta = rss_meter.run_delta_bytes();
+      const double events_per_sec =
+          result.wall_seconds > 0
+              ? static_cast<double>(result.events_executed) /
+                    result.wall_seconds
+              : 0.0;
+      std::printf("scale\t%s\tshards=%u\tthreads=1\tadaptive=%d\tues=%" PRIu64
+                  "\tevents=%" PRIu64 "\twindows=%" PRIu64
+                  "\twall_s=%.3f\tevents_per_sec=%.0f\n",
+                  std::string(flipped.policy.name).c_str(), shards,
+                  flipped.adaptive_lookahead ? 1 : 0, n_ues,
+                  result.events_executed, result.windows, result.wall_seconds,
+                  events_per_sec);
+      obs::Json& row = report.new_row(flipped.policy.name);
+      row["ues"] = n_ues;
+      row["events_executed"] = result.events_executed;
+      row["wall_seconds"] = result.wall_seconds;
+      row["events_per_sec"] = events_per_sec;
+      row["peak_rss_bytes"] = obs::peak_rss_bytes();
+      row["peak_rss_delta_bytes"] = static_cast<std::uint64_t>(rss_delta);
+      row["adaptive_lookahead"] = flipped.adaptive_lookahead;
+      row["drain_batch"] = static_cast<std::uint64_t>(flipped.drain_batch);
+      bench::Report::attach_result(row, result);
+      if (result.metrics.procedures_completed !=
+          result.metrics.procedures_started) {
+        std::fprintf(stderr,
+                     "scale_throughput: FAILED adaptive-flip row\n");
+        ok = false;
+      }
+    }
+    // Shard-sync overhead at one worker thread: the windows/barriers/
+    // channels cost with parallel execution factored out. ROADMAP open
+    // item 3 targets ≤15%; check.sh gates on this figure.
+    if (threads1_wall > 0 && baseline_wall > 0) {
+      const double overhead = threads1_wall / baseline_wall - 1.0;
+      report.config()["sync_overhead_threads1"] = overhead;
+      std::printf("scale\tsync-overhead\tthreads=1\t%.4f\n", overhead);
     }
   }
   report.finish();

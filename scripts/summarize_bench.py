@@ -11,9 +11,17 @@ with sharded-runtime rows it prints a thread-scaling table: events/s,
 events/s per thread, and speedup relative to the threads=1 row of the
 same shard count. Rows that carry a "timeseries" section (benches run
 with --telemetry) additionally render each windowed series as a text
-sparkline over sim-time. No third-party dependencies.
+sparkline over sim-time.
+
+When a committed BENCH_scale.json exists (or --baseline=PATH names any
+other bench-report), every sharded row additionally gets a "vs previous"
+delta pair — events/s change and barrier_wait-share change against the
+baseline row with the same (system, shards, threads, window policy) — so
+a perf regression shows up in the table, not in a diff of raw JSON.
+No third-party dependencies.
 """
 import json
+import os
 import sys
 from collections import defaultdict
 
@@ -82,15 +90,64 @@ def load_json_report(text):
     return doc
 
 
-def scaling_table(doc):
+def row_key(row):
+    """Identity of a row for cross-report comparison: same system, shard
+    geometry and window policy."""
+    return (row.get("system"), row.get("mode"), row.get("shards"),
+            row.get("threads"), row.get("adaptive_lookahead"),
+            bool(row.get("sharded_baseline", False)))
+
+
+def barrier_share(row):
+    """barrier_wait share of total profiled time, or None."""
+    prof = row.get("profiler")
+    if isinstance(prof, dict):
+        entry = prof.get("phases", {}).get("barrier_wait")
+        if isinstance(entry, dict) and \
+                isinstance(entry.get("share"), (int, float)):
+            return entry["share"]
+    return None
+
+
+def delta_cells(row, prev_rows):
+    """'vs previous' cells: events/s delta and barrier_wait-share delta
+    against the matching row of the baseline report."""
+    prev = prev_rows.get(row_key(row)) if prev_rows else None
+    if prev is None and prev_rows and row.get("adaptive_lookahead"):
+        # Baselines predating the window-policy keys carry no
+        # adaptive_lookahead: compare the current default-policy row
+        # against the old unlabeled one rather than printing nothing.
+        key = list(row_key(row))
+        key[4] = None
+        prev = prev_rows.get(tuple(key))
+    if prev is None:
+        return f"{'--':>8} {'--':>8}"
+    eps, prev_eps = row.get("events_per_sec"), prev.get("events_per_sec")
+    if isinstance(eps, (int, float)) and isinstance(prev_eps, (int, float)) \
+            and prev_eps > 0:
+        ev = f"{(eps - prev_eps) / prev_eps:+7.1%}"
+    else:
+        ev = "--"
+    share, prev_share = barrier_share(row), barrier_share(prev)
+    if share is not None and prev_share is not None:
+        bw = f"{(share - prev_share) * 100:+6.1f}pp"
+    else:
+        bw = "--"
+    return f"{ev:>8} {bw:>8}"
+
+
+def scaling_table(doc, prev_rows=None):
     """events/s-per-thread scaling of a report's sharded rows."""
     fig = doc.get("figure", "?")
     single = [r for r in doc.get("rows", [])
               if r.get("mode") != "sharded" and "events_per_sec" in r]
     sharded = [r for r in doc.get("rows", []) if r.get("mode") == "sharded"]
     for row in single:
-        print(f"  {row.get('system', '?'):>12}  single-thread baseline: "
-              f"{row['events_per_sec'] / 1e6:6.2f}M events/s")
+        line = (f"  {row.get('system', '?'):>12}  single-thread baseline: "
+                f"{row['events_per_sec'] / 1e6:6.2f}M events/s")
+        if prev_rows:
+            line += f"   vs prev: {delta_cells(row, prev_rows)}"
+        print(line)
     if not sharded:
         print(f"  (no sharded rows in {fig})")
         return
@@ -102,16 +159,22 @@ def scaling_table(doc):
         base = next((r["events_per_sec"] for r in rows
                      if r.get("threads") == 1), None)
         print(f"\n  shards={shards}")
-        print(f"  {'threads':>8} {'events/s':>12} {'per-thread':>12} "
-              f"{'speedup':>8} {'windows':>10} {'cross-msgs':>12}")
+        header = (f"  {'threads':>8} {'events/s':>12} {'per-thread':>12} "
+                  f"{'speedup':>8} {'windows':>10} {'cross-msgs':>12}")
+        if prev_rows:
+            header += f" {'Δev/s':>8} {'Δbarrier':>8}"
+        print(header)
         for r in rows:
             threads = r.get("threads", 0)
             eps = r.get("events_per_sec", 0.0)
             per_thread = eps / threads if threads else 0.0
             speedup = f"{eps / base:7.2f}x" if base else "      ?"
-            print(f"  {threads:>8} {eps:>12.0f} {per_thread:>12.0f} "
-                  f"{speedup:>8} {r.get('windows', 0):>10} "
-                  f"{r.get('cross_shard_messages', 0):>12}")
+            line = (f"  {threads:>8} {eps:>12.0f} {per_thread:>12.0f} "
+                    f"{speedup:>8} {r.get('windows', 0):>10} "
+                    f"{r.get('cross_shard_messages', 0):>12}")
+            if prev_rows:
+                line += f" {delta_cells(r, prev_rows)}"
+            print(line)
 
 
 SPARK = "▁▂▃▄▅▆▇█"  # ▁▂▃▄▅▆▇█
@@ -159,8 +222,32 @@ def summarize_tsv(path):
             passthrough_table(fig, rows[fig])
 
 
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_scale.json")
+
+
+def load_baseline_rows(path):
+    """Index a baseline report's rows by comparison key, or None."""
+    try:
+        doc = load_json_report(open(path).read())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc is None:
+        return None
+    return {row_key(r): r for r in doc.get("rows", [])}
+
+
 def main():
-    paths = sys.argv[1:] if len(sys.argv) > 1 else ["bench_output.txt"]
+    args = sys.argv[1:]
+    baseline_path = DEFAULT_BASELINE
+    paths = []
+    for a in args:
+        if a.startswith("--baseline="):
+            baseline_path = a[len("--baseline="):]
+        else:
+            paths.append(a)
+    if not paths:
+        paths = ["bench_output.txt"]
     for path in paths:
         doc = None
         try:
@@ -168,9 +255,16 @@ def main():
         except (OSError, json.JSONDecodeError):
             doc = None
         if doc is not None:
+            # Don't diff the committed baseline against itself.
+            prev_rows = None
+            if baseline_path and \
+                    os.path.realpath(path) != os.path.realpath(baseline_path):
+                prev_rows = load_baseline_rows(baseline_path)
             print(f"\n== {doc.get('figure', path)}: sharded-runtime "
                   f"scaling ({path}) ==")
-            scaling_table(doc)
+            if prev_rows:
+                print(f"  (vs previous: {baseline_path})")
+            scaling_table(doc, prev_rows)
             timeseries_view(doc)
         else:
             summarize_tsv(path)

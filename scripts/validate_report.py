@@ -18,6 +18,13 @@ neutrino.bench-report:
   * version >= 2: every row carries "mode"; "sharded" rows carry
     shards/threads/windows/cross_shard_messages and a shard_events list
     with one non-negative entry per shard summing to events_executed;
+    window-policy keys, when present (DESIGN.md §16): row
+    adaptive_lookahead / sharded_baseline are booleans, drain_batch /
+    adaptive_extensions / dispatches_skipped are non-negative integers,
+    and config adaptive_lookahead / drain_batch are typed the same way;
+    config sync_overhead_threads1 (the threads=1 shard-sync overhead
+    ratio the perf gate reads) is a number > -1 — negative when the
+    sharded sample happened to beat the legacy baseline;
   * version >= 3 (deep telemetry, DESIGN.md §15): a row's "timeseries"
     section has a positive window, strictly monotone per-series
     timestamps and point-list lengths consistent with the exporter's
@@ -117,6 +124,14 @@ def check_sharded(path, where, row, errors):
         errors.append(
             f"{path}: {where}: shard_events sum to {sum(per_shard)} but "
             f"events_executed is {row['events_executed']}")
+    # Window-policy keys (adaptive lookahead / batched drains) are
+    # optional but strictly typed when present.
+    for k in ("adaptive_lookahead", "sharded_baseline"):
+        if k in row and not isinstance(row[k], bool):
+            errors.append(f"{path}: {where}: {k} = {row[k]!r}, want bool")
+    for k in ("drain_batch", "adaptive_extensions", "dispatches_skipped"):
+        if k in row and not nonneg_int(row[k]):
+            errors.append(f"{path}: {where}: {k} = {row[k]!r}")
 
 
 # Mirrors obs::windowed_series_json's max_points: the exporter derives one
@@ -468,6 +483,23 @@ def validate(path):
     if not doc.get("rows"):
         errors.append(f"{path}: no rows")
     version = doc.get("version") if isinstance(doc.get("version"), int) else 1
+    config = doc.get("config", {})
+    if isinstance(config, dict):
+        if "adaptive_lookahead" in config and \
+                not isinstance(config["adaptive_lookahead"], bool):
+            errors.append(f"{path}: config.adaptive_lookahead = "
+                          f"{config['adaptive_lookahead']!r}, want bool")
+        if "drain_batch" in config and not nonneg_int(config["drain_batch"]):
+            errors.append(f"{path}: config.drain_batch = "
+                          f"{config['drain_batch']!r}")
+        # Ratio minus one: negative is legal (the sharded run beat the
+        # legacy baseline on that sample); only <= -1 is impossible.
+        overhead = config.get("sync_overhead_threads1")
+        if overhead is not None and (
+                not isinstance(overhead, (int, float)) or
+                isinstance(overhead, bool) or overhead <= -1):
+            errors.append(f"{path}: config.sync_overhead_threads1 = "
+                          f"{overhead!r}")
     decomposed = check_rows(path, doc.get("rows", []), errors, version)
     if doc.get("figure") == "fig_saturation":
         check_saturation(path, doc, errors)

@@ -36,6 +36,13 @@ struct RunConfig {
   bool use_sharded = false;
   std::uint32_t shards = 1;
   std::uint32_t threads = 1;
+  /// Per-destination adaptive windows (core::ShardedSystem::Config).
+  /// Deterministic for a fixed shard count, but the schedule change can
+  /// reorder exact-nanosecond ties vs the legacy loop — only the
+  /// adaptive-determinism tests (thread-count sweeps) enable it; the
+  /// legacy-equivalence corpus replays stay on static windows.
+  bool adaptive_lookahead = false;
+  std::size_t drain_batch = 64;
   core::FaultInjection faults;
   SimTime audit_interval = SimTime::milliseconds(50);
   /// Ride a flight recorder along (one per shard) and put the merged dump
@@ -244,6 +251,8 @@ inline RunOutcome run_schedule(const Schedule& s, const RunConfig& rc,
   scfg.proto = proto;
   scfg.shards = rc.shards;
   scfg.threads = rc.threads;
+  scfg.adaptive_lookahead = rc.adaptive_lookahead;
+  scfg.drain_batch = rc.drain_batch;
   core::ShardedSystem sys(scfg, costs);
   std::vector<obs::FlightRecorder> flights;
   if (rc.record_flight) {

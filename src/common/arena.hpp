@@ -1,0 +1,115 @@
+// Bump-pointer arena for window-scoped scratch (DESIGN.md §16).
+//
+// The sharded runtime's window boundaries produce short-lived batches —
+// cross-shard envelopes gathered from SPSC rings, per-window bookkeeping —
+// whose lifetimes all end when the boundary completes. A bump allocator
+// fits exactly: allocation is a pointer increment into a reused chunk,
+// and reset() rewinds everything at once instead of churning the global
+// allocator once per window (300k windows in the scale storm).
+//
+// Lifetime rules (enforced by convention, documented in DESIGN.md §16):
+//   * every pointer obtained between two reset() calls dies at the next
+//     reset() — no cross-window pointers, ever;
+//   * alloc_uninit<T>() returns *raw* storage: the caller placement-news
+//     and destroys; the arena never runs constructors or destructors;
+//   * not thread-safe — window boundaries are coordinator-only territory.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace neutrino {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the size of the first chunk; later chunks double so
+  /// a mis-sized initial guess costs O(log) allocations, not O(windows).
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024)
+      : next_chunk_bytes_(chunk_bytes == 0 ? 64 * 1024 : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Raw storage, aligned to `align` — a power of two up to
+  /// alignof(max_align_t); chunks come from operator new[], so their base
+  /// address honors exactly that bound.
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    assert(align != 0 && (align & (align - 1)) == 0);
+    assert(align <= alignof(std::max_align_t));
+    const std::size_t aligned =
+        (offset_ + (align - 1)) & ~(align - 1);
+    if (cur_ < chunks_.size() && aligned + bytes <= chunks_[cur_].size) {
+      offset_ = aligned + bytes;
+      bytes_served_ += bytes;
+      return chunks_[cur_].data.get() + aligned;
+    }
+    return alloc_slow(bytes, align);
+  }
+
+  /// Uninitialized storage for `n` objects of T. The caller owns
+  /// construction and destruction; the arena only owns the bytes.
+  template <class T>
+  [[nodiscard]] T* alloc_uninit(std::size_t n) {
+    return static_cast<T*>(alloc_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind: every outstanding pointer is dead, all chunks are retained
+  /// for reuse. O(1) — this runs once per conservative window.
+  void reset() {
+    cur_ = 0;
+    offset_ = 0;
+    bytes_served_ = 0;
+  }
+
+  /// Bytes handed out since the last reset() (stats hook).
+  [[nodiscard]] std::size_t bytes_allocated() const { return bytes_served_; }
+  /// Total bytes held across chunks (high-water footprint).
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* alloc_slow(std::size_t bytes, std::size_t align) {
+    // Advance to the next retained chunk that fits, or mint a new one
+    // (doubling) at the end. Skipped chunk tails are wasted until reset —
+    // acceptable: chunks double, so waste is bounded by half.
+    while (cur_ + 1 < chunks_.size()) {
+      ++cur_;
+      offset_ = 0;
+      const std::size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+      if (aligned + bytes <= chunks_[cur_].size) {
+        offset_ = aligned + bytes;
+        bytes_served_ += bytes;
+        return chunks_[cur_].data.get() + aligned;
+      }
+    }
+    std::size_t size = chunks_.empty() ? next_chunk_bytes_
+                                       : chunks_.back().size * 2;
+    while (size < bytes) size *= 2;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    cur_ = chunks_.size() - 1;
+    offset_ = bytes;
+    bytes_served_ += bytes;
+    return chunks_[cur_].data.get();
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;     // chunk currently bumped into
+  std::size_t offset_ = 0;  // bump cursor within chunks_[cur_]
+  std::size_t bytes_served_ = 0;
+  std::size_t next_chunk_bytes_;
+};
+
+}  // namespace neutrino

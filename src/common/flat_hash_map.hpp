@@ -190,10 +190,14 @@ class FlatHashMap {
   [[nodiscard]] std::size_t find_index(const K& key) const {
     if (ctrl_.empty()) return npos;
     const std::size_t mask = ctrl_.size() - 1;
+    const std::uint8_t* ctrl = ctrl_.data();
     std::size_t i = Hash{}(key)&mask;
     for (;;) {
-      if (ctrl_[i] == kEmpty) return npos;
-      if (ctrl_[i] == kFull && slots_[i].first == key) return i;
+      // One control-byte load per probe step; the byte array is the only
+      // memory touched until the key slot itself is inspected.
+      const std::uint8_t c = ctrl[i];
+      if (c == kEmpty) return npos;
+      if (c == kFull && slots_[i].first == key) return i;
       i = (i + 1) & mask;
     }
   }
@@ -205,7 +209,8 @@ class FlatHashMap {
     std::size_t i = Hash{}(key)&mask;
     std::size_t first_tomb = npos;
     for (;;) {
-      if (ctrl_[i] == kEmpty) {
+      const std::uint8_t c = ctrl_[i];
+      if (c == kEmpty) {
         const std::size_t dst = first_tomb != npos ? first_tomb : i;
         if (dst == i) ++used_;  // tombstone reuse doesn't raise occupancy
         ctrl_[dst] = kFull;
@@ -213,8 +218,8 @@ class FlatHashMap {
         ++size_;
         return {dst, true};
       }
-      if (ctrl_[i] == kFull && slots_[i].first == key) return {i, false};
-      if (ctrl_[i] == kTomb && first_tomb == npos) first_tomb = i;
+      if (c == kFull && slots_[i].first == key) return {i, false};
+      if (c == kTomb && first_tomb == npos) first_tomb = i;
       i = (i + 1) & mask;
     }
   }

@@ -144,8 +144,8 @@ class MsgPool {
   }
 
   void grow() {
-    blocks_.push_back(std::make_unique<Msg[]>(kBlockSize));
-    Msg* base = blocks_.back().get();
+    blocks_.push_back(std::make_unique<Block>());
+    Msg* base = blocks_.back()->slots;
     free_.reserve(free_.size() + kBlockSize);
     for (std::size_t i = kBlockSize; i > 0; --i) free_.push_back(base + i - 1);
   }
@@ -155,7 +155,14 @@ class MsgPool {
     free_.push_back(slot);
   }
 
-  std::vector<std::unique_ptr<Msg[]>> blocks_;
+  // Cache-line-anchored slab: the first slot of every block starts on a
+  // line boundary, so the Msg stride never begins mid-line and the free
+  // list hands back slots with predictable line splits.
+  struct alignas(64) Block {
+    Msg slots[kBlockSize];
+  };
+
+  std::vector<std::unique_ptr<Block>> blocks_;
   std::vector<Msg*> free_;
   std::uint64_t acquired_ = 0;
   std::uint64_t reused_ = 0;

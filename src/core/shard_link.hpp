@@ -44,8 +44,12 @@ struct ShardEnvelope {
 class CrossShardSink {
  public:
   virtual ~CrossShardSink() = default;
+  /// Takes the envelope by rvalue: the transports always hand over a
+  /// freshly built prvalue, and the hot path (one post per cross-shard
+  /// message in the scale storm) shouldn't pay an extra Msg move for a
+  /// by-value parameter.
   virtual void post(std::uint32_t dest_shard, SimTime arrival,
-                    ShardEnvelope envelope) = 0;
+                    ShardEnvelope&& envelope) = 0;
 };
 
 /// Identifies which slice of the topology a System instance owns. The

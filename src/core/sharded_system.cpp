@@ -1,5 +1,6 @@
 #include "core/sharded_system.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace neutrino::core {
@@ -26,13 +27,64 @@ SimTime ShardedSystem::lookahead_for(const TopologyConfig& topo,
   return min_link - SimTime::nanoseconds(1);
 }
 
+std::vector<SimTime> ShardedSystem::link_floor_for(const TopologyConfig& topo,
+                                                   std::uint32_t shards) {
+  if (shards <= 1) return {};
+  const auto regions = static_cast<std::uint32_t>(topo.total_regions());
+  const std::uint32_t per_shard = (regions + shards - 1) / shards;
+  std::vector<SimTime> floor(static_cast<std::size_t>(shards) * shards,
+                             SimTime::max());
+  // Every cross-shard transport (the five post_remote sites in System)
+  // uses cpf_link latency between the endpoint regions, so the cheapest
+  // cpf_link between the shards' region blocks is an exact floor.
+  for (std::uint32_t a = 0; a < regions; ++a) {
+    const std::uint32_t s = a / per_shard;
+    for (std::uint32_t b = 0; b < regions; ++b) {
+      const std::uint32_t d = b / per_shard;
+      if (s == d) continue;
+      SimTime& cell = floor[static_cast<std::size_t>(s) * shards + d];
+      cell = std::min(cell, topo.cpf_link(a, b));
+    }
+  }
+  return floor;
+}
+
 ShardedSystem::Runtime::Config ShardedSystem::runtime_config(
     const Config& config) {
   Runtime::Config rc;
   rc.shards = config.shards;
   rc.threads = config.threads;
   rc.lookahead = lookahead_for(config.topo, config.shards);
+  rc.adaptive_lookahead = config.adaptive_lookahead && config.shards > 1;
+  if (rc.adaptive_lookahead) {
+    rc.link_floor = link_floor_for(config.topo, config.shards);
+  }
+  rc.drain_batch = config.drain_batch;
   rc.loop = config.loop;
+  // Sharding splits the event stream N ways, so each shard's wheel sees
+  // ~1/N the event density of the legacy loop. Shrink the SLOT COUNT
+  // with the shard count at unchanged tick width: the coordinator
+  // rotates through all N wheels every window, so N× the legacy bucket
+  // headers is pure cache churn (4096 slots × 24 B × 8 shards ≈ 768 KB
+  // touched per rotation vs 96 KB scaled), while widening ticks instead
+  // would dump every sub-tick delay — most local hops — onto the slower
+  // heap path (CPU-time A/B on the 8-shard storm: tick-width scaling
+  // ~+15%, no scaling ~+25%, slot scaling ~±3% vs the same-topology
+  // legacy run). The shorter span (512 µs at 8 shards) pushes the few
+  // long inter-L2 links to the far-future heap, which is cheaper than
+  // thrashing bucket headers on every window. Wheel geometry never
+  // affects event ordering — only where an event waits — so this is
+  // invisible to determinism and to the 1-shard ≡ legacy equivalence.
+  // Applied only when the caller left the loop config at its defaults;
+  // explicit geometry is respected.
+  const sim::EventLoop::Config defaults;
+  if (config.shards > 1 && config.loop.use_timer_wheel &&
+      config.loop.wheel_granularity_ns == defaults.wheel_granularity_ns &&
+      config.loop.wheel_slots == defaults.wheel_slots) {
+    const std::size_t scale = std::bit_ceil(static_cast<std::size_t>(
+        config.shards > 16 ? 16 : config.shards));
+    rc.loop.wheel_slots = defaults.wheel_slots / scale;
+  }
   rc.rng_seed = config.rng_seed;
   rc.channel_capacity = config.channel_capacity;
   return rc;

@@ -53,6 +53,19 @@ class ShardedSystem {
     ProtocolConfig proto;
     std::uint32_t shards = 1;
     std::uint32_t threads = 1;
+    /// Per-destination adaptive windows (DESIGN.md §16): each shard runs
+    /// to the earliest possible cross-shard arrival instead of the static
+    /// min-link bound, collapsing thousands of quiet-phase windows into
+    /// one. Fully deterministic for a fixed shard count — identical
+    /// outcomes across runs and worker-thread counts — but the *window
+    /// schedule* differs from the static one, so events that share an
+    /// exact nanosecond may tie-break in a different (still
+    /// deterministic) order than the legacy single-loop run. The repro
+    /// corpus pins legacy ≡ sharded equality, hence opt-in.
+    bool adaptive_lookahead = false;
+    /// Cross-shard entries staged per arena batch at window boundaries
+    /// (0 = deliver straight from the ring). Perf knob only.
+    std::size_t drain_batch = 64;
     sim::EventLoop::Config loop;
     std::uint64_t rng_seed = 1;
     bool streaming_pct = false;
@@ -87,6 +100,13 @@ class ShardedSystem {
   /// min cross-shard cpf_link − 1ns, or SimTime::max() for one shard.
   [[nodiscard]] static SimTime lookahead_for(const TopologyConfig& topo,
                                              std::uint32_t shards);
+
+  /// Per-ordered-pair minimum cross-shard link latency, [src*shards+dst]
+  /// (diagonal = max(), unused): the adaptive-lookahead floor matrix.
+  /// Empty for one shard. Uses the same block partition as
+  /// System::shard_of_region, so every entry is exact, not conservative.
+  [[nodiscard]] static std::vector<SimTime> link_floor_for(
+      const TopologyConfig& topo, std::uint32_t shards);
 
   /// Sharded preattach: UE context on the home shard, replica state on
   /// each replica's owning shard (same placement as Frontend::preattach).
@@ -184,7 +204,7 @@ class ShardedSystem {
     Runtime* runtime = nullptr;
     std::uint32_t src = 0;
     void post(std::uint32_t dest_shard, SimTime arrival,
-              ShardEnvelope envelope) override {
+              ShardEnvelope&& envelope) override {
       runtime->post(src, dest_shard, arrival, std::move(envelope));
     }
   };

@@ -1,14 +1,43 @@
 // Bounds-checked byte/bit cursors shared by all wire codecs.
+//
+// The scalar paths are the per-message hot spots (every codec funnels
+// through put_le/get_le or the PER bit cursor), so they are written
+// branchless where the byte order allows: little-endian hosts memcpy
+// whole scalars instead of shifting byte-by-byte, big-endian writes swap
+// in a register first, and the bit cursor moves whole bytes once the
+// partial byte is filled. Byte-identical to the portable loops — the 35
+// golden vectors and the codec fuzzers hold both shut (DESIGN.md §16).
 #pragma once
 
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 
 namespace neutrino::wire {
+
+namespace detail {
+
+/// Reverse the bytes of an unsigned integer (constexpr-friendly; the
+/// compilers reduce it to a single bswap).
+template <typename U>
+constexpr U byte_reverse(U v) {
+  static_assert(std::is_unsigned_v<U>);
+  if constexpr (sizeof(U) == 1) {
+    return v;
+  } else {
+    U out = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      out = static_cast<U>(out << 8) | static_cast<U>((v >> (8 * i)) & 0xFF);
+    }
+    return out;
+  }
+}
+
+}  // namespace detail
 
 /// Append-only byte writer, little- and big-endian primitives.
 class ByteWriter {
@@ -21,19 +50,21 @@ class ByteWriter {
   template <typename T>
   void put_le(T v) {
     static_assert(std::is_integral_v<T>);
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<Byte>(static_cast<std::make_unsigned_t<T>>(v) >>
-                                       (8 * i)));
+    auto u = static_cast<std::make_unsigned_t<T>>(v);
+    if constexpr (std::endian::native == std::endian::big) {
+      u = detail::byte_reverse(u);
     }
+    append_raw(&u, sizeof(u));
   }
 
   template <typename T>
   void put_be(T v) {
     static_assert(std::is_integral_v<T>);
-    for (std::size_t i = sizeof(T); i-- > 0;) {
-      buf_.push_back(static_cast<Byte>(static_cast<std::make_unsigned_t<T>>(v) >>
-                                       (8 * i)));
+    auto u = static_cast<std::make_unsigned_t<T>>(v);
+    if constexpr (std::endian::native == std::endian::little) {
+      u = detail::byte_reverse(u);
     }
+    append_raw(&u, sizeof(u));
   }
 
   void put_bytes(BytesView data) {
@@ -59,6 +90,12 @@ class ByteWriter {
   Bytes take() && { return std::move(buf_); }
 
  private:
+  void append_raw(const void* src, std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    std::memcpy(buf_.data() + at, src, n);
+  }
+
   Bytes buf_;
 };
 
@@ -78,9 +115,10 @@ class ByteReader {
   template <typename T>
   Result<T> get_le() {
     if (remaining() < sizeof(T)) return truncated();
-    std::make_unsigned_t<T> v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v |= static_cast<std::make_unsigned_t<T>>(data_[pos_ + i]) << (8 * i);
+    std::make_unsigned_t<T> v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    if constexpr (std::endian::native == std::endian::big) {
+      v = detail::byte_reverse(v);
     }
     pos_ += sizeof(T);
     return static_cast<T>(v);
@@ -89,9 +127,10 @@ class ByteReader {
   template <typename T>
   Result<T> get_be() {
     if (remaining() < sizeof(T)) return truncated();
-    std::make_unsigned_t<T> v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v = static_cast<std::make_unsigned_t<T>>(v << 8) | data_[pos_ + i];
+    std::make_unsigned_t<T> v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(v));
+    if constexpr (std::endian::native == std::endian::little) {
+      v = detail::byte_reverse(v);
     }
     pos_ += sizeof(T);
     return static_cast<T>(v);
@@ -137,9 +176,24 @@ class BitWriter {
     bit_pos_ = (bit_pos_ + 1) % 8;
   }
 
-  /// Write the low `nbits` bits of v, MSB first.
+  /// Write the low `nbits` bits of v, MSB first. Fills the current
+  /// partial byte bit-by-bit (≤7 steps), then moves whole bytes — the PER
+  /// interpreter emits mostly 8/16/32-bit fields, which hit the byte loop
+  /// directly. Output is bit-identical to the naive per-bit loop.
   void put_bits(std::uint64_t v, unsigned nbits) {
-    for (unsigned i = nbits; i-- > 0;) put_bit(((v >> i) & 1u) != 0);
+    if (nbits < 64) v &= (std::uint64_t{1} << nbits) - 1;
+    while (nbits > 0 && bit_pos_ != 0) {
+      --nbits;
+      put_bit(((v >> nbits) & 1u) != 0);
+    }
+    while (nbits >= 8) {
+      nbits -= 8;
+      buf_.push_back(static_cast<Byte>((v >> nbits) & 0xFF));
+    }
+    if (nbits > 0) {
+      buf_.push_back(static_cast<Byte>((v << (8 - nbits)) & 0xFF));
+      bit_pos_ = nbits;
+    }
   }
 
   /// PER octet alignment: pad the current byte with zero bits.
@@ -180,9 +234,23 @@ class BitReader {
     return bit;
   }
 
+  /// Word-wise mirror of BitWriter::put_bits: drains the current partial
+  /// byte, then consumes whole bytes. Same values and cursor positions as
+  /// the per-bit loop on every successful read.
   Result<std::uint64_t> get_bits(unsigned nbits) {
     std::uint64_t v = 0;
-    for (unsigned i = 0; i < nbits; ++i) {
+    while (nbits > 0 && bit_pos_ != 0) {
+      auto bit = get_bit();
+      if (!bit) return bit.status();
+      v = (v << 1) | (*bit ? 1u : 0u);
+      --nbits;
+    }
+    while (nbits >= 8) {
+      if (byte_pos_ >= data_.size()) return truncated();
+      nbits -= 8;
+      v = (v << 8) | static_cast<std::uint64_t>(data_[byte_pos_++]);
+    }
+    for (; nbits > 0; --nbits) {
       auto bit = get_bit();
       if (!bit) return bit.status();
       v = (v << 1) | (*bit ? 1u : 0u);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -26,7 +27,10 @@
 
 namespace neutrino::sim {
 
-class EventLoop {
+// Cache-line aligned: sharded runs keep one loop per shard in a dense
+// vector, and the hot scalar block (now_/pending_/drain cursor) of one
+// shard must not false-share with its neighbor's.
+class alignas(64) EventLoop {
  public:
   using Callback = InlineTask;
 
@@ -50,7 +54,10 @@ class EventLoop {
         slots_(config.wheel_slots) {
     assert(granule_ > 0);
     assert(slots_ >= 2 && (slots_ & (slots_ - 1)) == 0);
-    if (wheel_enabled_) buckets_.resize(slots_);
+    if (wheel_enabled_) {
+      buckets_.resize(slots_);
+      occupancy_.assign((slots_ + 63) / 64, 0);
+    }
   }
 
   [[nodiscard]] SimTime now() const { return now_; }
@@ -68,8 +75,9 @@ class EventLoop {
       const std::int64_t tick = tick_of(when);
       if (tick >= cursor_tick_ &&
           static_cast<std::uint64_t>(tick - cursor_tick_) < slots_) {
-        buckets_[static_cast<std::size_t>(tick) & (slots_ - 1)].push_back(
-            std::move(ev));
+        const std::size_t slot = static_cast<std::size_t>(tick) & (slots_ - 1);
+        buckets_[slot].push_back(std::move(ev));
+        occupancy_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
         ++wheel_count_;
         return;
       }
@@ -82,9 +90,31 @@ class EventLoop {
   }
 
   /// Run events until the queue drains or the horizon passes. Events at
-  /// exactly `horizon` still run.
+  /// exactly `horizon` still run. Fused peek+pop: the (drain, heap) front
+  /// comparison runs once per event instead of once in next_when() and
+  /// again in pop_next() — this is the sharded-dispatch hot loop.
   void run_until(SimTime horizon) {
-    while (pending_ > 0 && next_when() <= horizon) step();
+    while (pending_ > 0) {
+      maybe_refill();
+      if (drain_pos_ < drain_.size() &&
+          (heap_.empty() || before(drain_[drain_pos_], heap_[0]))) {
+        Event& front = drain_[drain_pos_];
+        if (front.when > horizon) break;
+        ++drain_pos_;
+        now_ = front.when;
+        --pending_;
+        ++executed_;
+        InlineTask task = std::move(front.task);
+        task();
+      } else {
+        if (heap_[0].when > horizon) break;
+        Event ev = heap_pop();
+        now_ = ev.when;
+        --pending_;
+        ++executed_;
+        ev.task();
+      }
+    }
     if (now_ < horizon) now_ = horizon;
   }
 
@@ -134,7 +164,7 @@ class EventLoop {
 
   /// Timestamp of the next event; only valid when pending_ > 0.
   SimTime next_when() {
-    if (drain_pos_ >= drain_.size() && wheel_count_ > 0) refill_drain();
+    maybe_refill();
     const bool have_drain = drain_pos_ < drain_.size();
     if (!have_drain) return heap_[0].when;
     if (heap_.empty() || before(drain_[drain_pos_], heap_[0]))
@@ -143,7 +173,7 @@ class EventLoop {
   }
 
   Event pop_next() {
-    if (drain_pos_ >= drain_.size() && wheel_count_ > 0) refill_drain();
+    maybe_refill();
     if (drain_pos_ < drain_.size() &&
         (heap_.empty() || before(drain_[drain_pos_], heap_[0]))) {
       return std::move(drain_[drain_pos_++]);
@@ -151,23 +181,70 @@ class EventLoop {
     return heap_pop();
   }
 
+  /// Lazy wheel drain: refill only when the wheel's next occupied tick
+  /// can actually precede the heap front. Draining eagerly would advance
+  /// the cursor across empty ticks while earlier heap events still run,
+  /// and their near-future successors would then land below the cursor
+  /// and be exiled to the heap for good — the wheel starves. Acute in
+  /// sharded runs, whose per-shard wheels are ~N× sparser (the cursor
+  /// used to overshoot now_ by ~66 ticks on the 8-shard storm).
+  void maybe_refill() {
+    if (drain_pos_ < drain_.size() || wheel_count_ == 0) return;
+    if (!heap_.empty() && tick_of(heap_[0].when) < wheel_next_tick()) {
+      return;  // heap front strictly precedes any wheel event
+    }
+    refill_drain();
+  }
+
+  /// Tick of the earliest occupied wheel slot (wheel_count_ > 0 only);
+  /// does not move the cursor.
+  [[nodiscard]] std::int64_t wheel_next_tick() const {
+    const std::size_t start =
+        static_cast<std::size_t>(cursor_tick_) & (slots_ - 1);
+    return cursor_tick_ + static_cast<std::int64_t>(next_occupied_offset(start));
+  }
+
   /// Advance the cursor to the next non-empty bucket and sort its events
   /// into the drain buffer. New inserts for the drained tick fail the
   /// `tick >= cursor` window check and go to the heap, so the (when, seq)
   /// merge in pop_next() keeps global ordering exact.
+  /// The wheel keeps a one-bit-per-slot occupancy bitmap so this is a
+  /// ctz word scan, not a walk over empty bucket vectors — sharded runs
+  /// leave each shard's wheel ~N× sparser than the legacy loop's, and the
+  /// walk used to dominate per-event dispatch cost there.
   void refill_drain() {
+    assert(wheel_count_ > 0);
     drain_.clear();
     drain_pos_ = 0;
+    const std::size_t start =
+        static_cast<std::size_t>(cursor_tick_) & (slots_ - 1);
+    cursor_tick_ += static_cast<std::int64_t>(next_occupied_offset(start));
+    const std::size_t slot =
+        static_cast<std::size_t>(cursor_tick_) & (slots_ - 1);
+    ++cursor_tick_;
+    occupancy_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    drain_.swap(buckets_[slot]);
+    wheel_count_ -= drain_.size();
+    std::sort(drain_.begin(), drain_.end(), before);
+  }
+
+  /// Distance (in slots, circular) from `start` to the first occupied
+  /// slot. Only called when wheel_count_ > 0, so a set bit exists; the
+  /// wheel invariant (every live tick within [cursor, cursor + slots))
+  /// makes slot order equal tick order, so the first set bit from the
+  /// cursor is the next non-empty tick.
+  [[nodiscard]] std::size_t next_occupied_offset(std::size_t start) const {
+    std::size_t word = start >> 6;
+    std::uint64_t bits =
+        occupancy_[word] & (~std::uint64_t{0} << (start & 63));
     for (;;) {
-      auto& bucket =
-          buckets_[static_cast<std::size_t>(cursor_tick_) & (slots_ - 1)];
-      ++cursor_tick_;
-      if (!bucket.empty()) {
-        drain_.swap(bucket);
-        wheel_count_ -= drain_.size();
-        std::sort(drain_.begin(), drain_.end(), before);
-        return;
+      if (bits != 0) {
+        const std::size_t slot =
+            (word << 6) | static_cast<std::size_t>(std::countr_zero(bits));
+        return (slot + slots_ - start) & (slots_ - 1);
       }
+      word = word + 1 == occupancy_.size() ? 0 : word + 1;
+      bits = occupancy_[word];
     }
   }
 
@@ -209,25 +286,31 @@ class EventLoop {
     return top;
   }
 
+  // Hot scalar block first: the per-event loop touches now_/pending_/
+  // executed_/drain_pos_/wheel_count_ on every step, so they share the
+  // object's first cache line (the class itself is 64-aligned).
+  SimTime now_;
+  std::size_t pending_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t drain_pos_ = 0;  // consumed prefix of drain_
+  std::size_t wheel_count_ = 0;
+  std::int64_t cursor_tick_ = 0;
+
+  std::vector<Event> drain_;  // current tick, sorted by (when, seq)
+
   // 4-ary implicit heap: shallower than binary (better for the sift-down
   // on pop) and the 4 children share cache lines at 80-byte events.
   std::vector<Event> heap_;
 
   // Timer wheel state. Invariant: every bucket holds events of at most one
-  // tick value, and that tick is in [cursor_tick_, cursor_tick_ + slots_).
+  // tick value, and that tick is in [cursor_tick_, cursor_tick_ + slots_);
+  // occupancy_ bit s is set iff buckets_[s] is non-empty.
   bool wheel_enabled_;
   std::int64_t granule_;
   std::size_t slots_;
   std::vector<std::vector<Event>> buckets_;
-  std::size_t wheel_count_ = 0;
-  std::int64_t cursor_tick_ = 0;
-  std::vector<Event> drain_;   // current tick, sorted by (when, seq)
-  std::size_t drain_pos_ = 0;  // consumed prefix of drain_
-
-  SimTime now_;
-  std::uint64_t next_seq_ = 0;
-  std::size_t pending_ = 0;
-  std::uint64_t executed_ = 0;
+  std::vector<std::uint64_t> occupancy_;
 };
 
 }  // namespace neutrino::sim

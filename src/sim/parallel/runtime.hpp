@@ -15,6 +15,23 @@
 // synchronization at all: plain single-threaded EventLoop runs, lock-free
 // SPSC pushes for cross-shard sends, and two barriers per window.
 //
+// Adaptive lookahead (Config::adaptive_lookahead, DESIGN.md §16) keeps
+// that invariant but sizes each shard's horizon individually from the
+// earliest *possible* cross-shard arrival instead of the worst case:
+//
+//     end(dst) = min over src≠dst of (next_time(src) + link_floor(src,dst))
+//                − 1ns
+//
+// A message from src reaches dst no earlier than src's first pending
+// event plus the cheapest src→dst link, so dst executing to end(dst)
+// can never be overtaken. Because next_time(src) ≥ W and link_floor ≥
+// lookahead + 1ns, end(dst) is never narrower than the static window —
+// and when the other shards are quiet (their next events far away), dst's
+// horizon widens to match, collapsing entire idle stretches into one
+// window. The bound is computed by the coordinator from sim state alone
+// (no wall clock, no thread identity), so schedules — and therefore all
+// results — remain bit-identical across runs and worker-thread counts.
+//
 // Determinism (the hard requirement, see DESIGN.md §11): for a fixed
 // shard count the results are bit-identical across runs *and across
 // worker-thread counts* because (a) each shard's intra-window execution
@@ -33,6 +50,7 @@
 // uneven shards) — claiming order affects wall-clock only, never results.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -41,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "obs/profiler.hpp"
@@ -60,6 +79,20 @@ class ShardedRuntime {
     /// cross-shard link latency (callers pass min_link − 1ns). max()
     /// means "no cross-shard traffic allowed": one window to the horizon.
     SimTime lookahead = SimTime::max();
+    /// Widen each shard's window to the earliest possible cross-shard
+    /// arrival (see header). Never narrower than the static window, and
+    /// deterministic; off by default so bare-runtime tests keep the
+    /// classic fixed-width window schedule.
+    bool adaptive_lookahead = false;
+    /// Minimum src→dst message latency, indexed [src * shards + dst]
+    /// (diagonal unused). Empty means "uniform": every pair floors at
+    /// lookahead + 1ns, which is the tightest bound consistent with the
+    /// static-lookahead contract. Only read when adaptive_lookahead.
+    std::vector<SimTime> link_floor;
+    /// Entries gathered per arena batch at window boundaries before the
+    /// delivery pass runs over them (cache-friendly split of ring reads
+    /// from destination-loop pushes). 0 = deliver straight from the ring.
+    std::size_t drain_batch = 64;
     EventLoop::Config loop;
     std::uint64_t rng_seed = 1;
     std::size_t channel_capacity = 1024;
@@ -69,6 +102,10 @@ class ShardedRuntime {
   struct Stats {
     std::uint64_t windows = 0;          ///< barrier-bounded windows executed
     std::uint64_t cross_messages = 0;   ///< envelopes drained at barriers
+    /// Shard-windows whose adaptive horizon exceeded the static bound.
+    std::uint64_t adaptive_extensions = 0;
+    /// Shard-windows skipped entirely (no event before the shard's end).
+    std::uint64_t dispatches_skipped = 0;
   };
 
   /// One conservative window as seen by the coordinator (sim-time bounds,
@@ -87,6 +124,9 @@ class ShardedRuntime {
       : n_(config.shards),
         threads_(config.threads == 0 ? 1 : config.threads),
         lookahead_(config.lookahead),
+        adaptive_(config.adaptive_lookahead),
+        drain_batch_(config.drain_batch),
+        link_floor_(config.link_floor),
         start_(threads_, config.spin_budget >= 0
                              ? config.spin_budget
                              : PhaseBarrier::default_spin_budget(threads_)),
@@ -95,6 +135,9 @@ class ShardedRuntime {
                             : PhaseBarrier::default_spin_budget(threads_)) {
     assert(n_ >= 1);
     assert(lookahead_.ns() > 0);
+    assert(link_floor_.empty() || link_floor_.size() == n_ * n_);
+    next_times_.assign(n_, SimTime{});
+    shard_ends_.assign(n_, SimTime{});
     loops_.reserve(n_);
     rngs_.reserve(n_);
     channels_.reserve(n_ * n_);
@@ -107,6 +150,10 @@ class ShardedRuntime {
     for (std::size_t i = 0; i < n_ * n_; ++i) {
       channels_.emplace_back(config.channel_capacity);
     }
+    // One cache line (8 words = up to 512 dst bits) per source shard, so
+    // concurrent producers never false-share a dirty row.
+    dirty_stride_ = ((n_ + 63) / 64 + 7) / 8 * 8;
+    dirty_.assign(n_ * dirty_stride_, 0);
   }
 
   [[nodiscard]] std::size_t shards() const { return n_; }
@@ -153,8 +200,15 @@ class ShardedRuntime {
   void post(std::size_t from, std::size_t to, SimTime arrival,
             Payload payload) {
     assert(from < n_ && to < n_ && from != to);
-    assert(!in_window_ || arrival > window_end_);
+    // The destination's own horizon is the safety line: with adaptive
+    // windows a shard may run far past other shards' ends, but nothing may
+    // arrive at `to` at or before the point `to` executes to this window.
+    assert(!in_window_ || arrival > shard_ends_[to]);
     channels_[from * n_ + to].push(Entry{arrival, std::move(payload)});
+    // Mark the channel non-empty for the boundary drain. Plain store: the
+    // row has a single writer (whichever thread claimed shard `from`) and
+    // the done-barrier publishes it to the coordinator.
+    dirty_[from * dirty_stride_ + (to >> 6)] |= std::uint64_t{1} << (to & 63);
   }
 
   /// Run all shards to `horizon` (events at exactly `horizon` still run).
@@ -176,12 +230,42 @@ class ShardedRuntime {
       {
         auto sched = obs::PhaseProfiler::scoped(profiler_, 0,
                                                 obs::Phase::kSchedule);
-        for (EventLoop& l : loops_) {
-          window_start = std::min(window_start, l.next_time());
+        for (std::size_t i = 0; i < n_; ++i) {
+          next_times_[i] = loops_[i].next_time();
+          window_start = std::min(window_start, next_times_[i]);
         }
       }
       if (window_start == SimTime::max() || window_start > horizon) break;
-      window_end_ = window_end_for(window_start, horizon);
+      const SimTime static_end = window_end_for(window_start, horizon);
+      window_end_ = static_end;
+      if (adaptive_ && lookahead_ != SimTime::max()) {
+        for (std::size_t dst = 0; dst < n_; ++dst) {
+          // Earliest instant a cross-shard message could reach dst: some
+          // other shard's first pending event plus the cheapest link in.
+          SimTime bound = SimTime::max();
+          for (std::size_t src = 0; src < n_; ++src) {
+            if (src == dst) continue;
+            bound = std::min(bound, arrival_floor(src, dst));
+          }
+          SimTime end =
+              bound == SimTime::max()
+                  ? horizon
+                  : std::min(horizon, bound - SimTime::nanoseconds(1));
+          // Provably ≥ static_end (next_time ≥ W, floor ≥ lookahead+1ns);
+          // the max() guards against a caller-supplied floor below the
+          // static lookahead contract.
+          end = std::max(end, static_end);
+          shard_ends_[dst] = end;
+          if (end > static_end) ++stats_.adaptive_extensions;
+          if (next_times_[dst] > end) ++stats_.dispatches_skipped;
+          window_end_ = std::max(window_end_, end);
+        }
+      } else {
+        for (std::size_t dst = 0; dst < n_; ++dst) {
+          shard_ends_[dst] = static_end;
+          if (next_times_[dst] > static_end) ++stats_.dispatches_skipped;
+        }
+      }
       in_window_ = true;
       ++stats_.windows;
       claim_.store(0, std::memory_order_relaxed);
@@ -199,19 +283,51 @@ class ShardedRuntime {
       in_window_ = false;
       // Workers are parked between barriers: the coordinating thread owns
       // every channel and destination loop here. Fixed (dst, src, FIFO)
-      // drain order ⇒ thread-count-independent seq assignment.
+      // drain order ⇒ thread-count-independent seq assignment. Entries are
+      // gathered into arena-backed batches first (tight ring reads), then
+      // delivered (destination-heap pushes) — splitting the two access
+      // patterns instead of interleaving them per message. Batching is
+      // pure staging: delivery order is identical to the direct path.
       {
         auto drain = obs::PhaseProfiler::scoped(profiler_, 0,
                                                 obs::Phase::kChannelDrain);
+        static_assert(alignof(Entry) <= alignof(std::max_align_t));
+        const std::size_t batch = drain_batch_;
+        Entry* scratch =
+            batch > 0 ? arena_.template alloc_uninit<Entry>(batch) : nullptr;
         for (std::size_t dst = 0; dst < n_; ++dst) {
+          const std::size_t word = dst >> 6;
+          const std::uint64_t bit = std::uint64_t{1} << (dst & 63);
+          std::size_t fill = 0;
+          const auto flush = [&] {
+            for (std::size_t k = 0; k < fill; ++k) {
+              deliver(dst, scratch[k].arrival, std::move(scratch[k].payload));
+              scratch[k].~Entry();
+            }
+            fill = 0;
+          };
           for (std::size_t src = 0; src < n_; ++src) {
             if (src == dst) continue;
-            stats_.cross_messages +=
-                channels_[src * n_ + dst].drain([&](Entry&& e) {
-                  deliver(dst, e.arrival, std::move(e.payload));
-                });
+            // Skip channels nobody pushed into this window: most window
+            // boundaries cross few (often zero) messages, and touching
+            // all n² head/tail cache-line pairs dominated the drain.
+            if ((dirty_[src * dirty_stride_ + word] & bit) == 0) continue;
+            auto& chan = channels_[src * n_ + dst];
+            if (batch == 0) {
+              stats_.cross_messages += chan.drain([&](Entry&& e) {
+                deliver(dst, e.arrival, std::move(e.payload));
+              });
+              continue;
+            }
+            stats_.cross_messages += chan.drain([&](Entry&& e) {
+              ::new (static_cast<void*>(scratch + fill)) Entry(std::move(e));
+              if (++fill == batch) flush();
+            });
           }
+          if (batch > 0) flush();
         }
+        std::fill(dirty_.begin(), dirty_.end(), 0);
+        arena_.reset();
       }
       if (window_log_max_ > 0 && window_log_.size() < window_log_max_) {
         WindowRecord rec;
@@ -252,13 +368,27 @@ class ShardedRuntime {
     return std::min(start + lookahead_, horizon);
   }
 
+  /// Earliest sim time a message from `src` could arrive at `dst` given
+  /// src's current next_time — saturating, so quiet shards (next_time at
+  /// or near max()) impose no bound instead of wrapping.
+  [[nodiscard]] SimTime arrival_floor(std::size_t src, std::size_t dst) const {
+    const SimTime floor = link_floor_.empty()
+                              ? lookahead_ + SimTime::nanoseconds(1)
+                              : link_floor_[src * n_ + dst];
+    const SimTime t = next_times_[src];
+    if (t.ns() > SimTime::max().ns() - floor.ns()) return SimTime::max();
+    return t + floor;
+  }
+
   void work() {
-    const SimTime end = window_end_;
     for (std::size_t i = claim_.fetch_add(1, std::memory_order_relaxed);
          i < n_; i = claim_.fetch_add(1, std::memory_order_relaxed)) {
+      // Idle skip: nothing to run before this shard's horizon (counted by
+      // the coordinator pre-barrier, so the claim loop stays write-free).
+      if (next_times_[i] > shard_ends_[i]) continue;
       auto dispatch = obs::PhaseProfiler::scoped(profiler_, i,
                                                  obs::Phase::kDispatch);
-      loops_[i].run_until(end);
+      loops_[i].run_until(shard_ends_[i]);
     }
   }
 
@@ -282,17 +412,27 @@ class ShardedRuntime {
   const std::size_t n_;
   const std::size_t threads_;
   const SimTime lookahead_;
+  const bool adaptive_;
+  const std::size_t drain_batch_;
+  const std::vector<SimTime> link_floor_;  // [src * n_ + dst], may be empty
   std::vector<EventLoop> loops_;
   std::vector<Rng> rngs_;
   std::vector<SpscChannel<Entry>> channels_;  // [src * n_ + dst]
+  Arena arena_;  // window-boundary scratch (coordinator-only)
+  // Per-source bitmask of destinations pushed to since the last boundary;
+  // row stride is a whole cache line (single writer per row mid-window).
+  std::vector<std::uint64_t> dirty_;
+  std::size_t dirty_stride_ = 0;
 
   PhaseBarrier start_;
   PhaseBarrier done_;
   std::atomic<std::size_t> claim_{0};
   std::atomic<bool> stop_{false};
   // Written by the coordinator strictly between barriers; the start
-  // barrier's release/acquire edge publishes it to workers.
-  SimTime window_end_;
+  // barrier's release/acquire edge publishes them to workers.
+  SimTime window_end_;             // max over shard_ends_ (window log bound)
+  std::vector<SimTime> next_times_;   // per-shard next event, from the scan
+  std::vector<SimTime> shard_ends_;   // per-shard inclusive run horizon
   bool in_window_ = false;
 
   Stats stats_;

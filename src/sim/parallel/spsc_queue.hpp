@@ -29,9 +29,14 @@ template <class T>
 class SpscChannel {
  public:
   /// `capacity` must be a power of two (ring slots reserved up front).
+  /// The spill vector is also reserved ahead to the ring's capacity: the
+  /// first overflow window then degrades to plain stores instead of a
+  /// reallocation storm, and because drain() clears without shrinking,
+  /// the buffer is reused across every subsequent window boundary.
   explicit SpscChannel(std::size_t capacity = 1024)
       : mask_(capacity - 1), slots_(capacity) {
     assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    spill_.reserve(capacity);
   }
 
   SpscChannel(SpscChannel&& other) noexcept

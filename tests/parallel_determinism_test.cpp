@@ -9,6 +9,7 @@
 //  3. the consistency guarantee survives sharding: 0 RYW violations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -113,7 +114,8 @@ struct ShardRun {
 ShardRun run_sharded(std::uint32_t shards, std::uint32_t threads,
                 bool with_crash, std::uint64_t preattached,
                 const core::ProtocolConfig& proto = test_proto(),
-                bool storm = false) {
+                bool storm = false, bool adaptive = false,
+                std::size_t drain_batch = 64) {
   const core::FixedCostModel costs{SimTime::microseconds(10)};
   core::ShardedSystem::Config cfg;
   cfg.policy = core::neutrino_policy();
@@ -121,6 +123,8 @@ ShardRun run_sharded(std::uint32_t shards, std::uint32_t threads,
   cfg.proto = proto;
   cfg.shards = shards;
   cfg.threads = threads;
+  cfg.adaptive_lookahead = adaptive;
+  cfg.drain_batch = drain_batch;
   core::ShardedSystem sys(cfg, costs);
 
   obs::TracerConfig tc;
@@ -339,6 +343,95 @@ TEST(ParallelDeterminism, OverloadBackpressureIdenticalAcrossThreadCounts) {
   expect_identical(t1, t4, "overload threads 1 vs 4");
   expect_identical(t1, t8, "overload threads 1 vs 8");
   expect_identical(t4, t4_again, "overload run-to-run at threads=4");
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive lookahead (DESIGN.md §16) armed over the full chaos + overload
+// scenario: crash + replay, bounded queues, NAS retransmission. Identical
+// window *schedules* are not required versus the static runs above —
+// identical event outcomes and byte-identical telemetry ARE, across
+// worker-thread counts {1, 2, 4, 8} and across runs.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminism, AdaptiveLookaheadIdenticalAcrossThreadCounts) {
+  const ShardRun t1 = run_sharded(4, 1, /*with_crash=*/true, 0,
+                                  overload_test_proto(), /*storm=*/true,
+                                  /*adaptive=*/true);
+
+  // Sanity: the scenario still exercises every order-sensitive path —
+  // shedding, retransmission, crash recovery — with adaptation on.
+  EXPECT_GT(t1.metrics.attach_sheds + t1.metrics.overload_drops, 0u);
+  EXPECT_GT(t1.metrics.nas_retransmissions, 0u);
+  EXPECT_GT(t1.metrics.procedures_completed, 200u);
+  EXPECT_EQ(t1.metrics.ryw_violations, 0u);
+  EXPECT_GT(t1.cross_messages, 0u);
+
+  const ShardRun t2 = run_sharded(4, 2, true, 0, overload_test_proto(),
+                                  true, true);
+  const ShardRun t4 = run_sharded(4, 4, true, 0, overload_test_proto(),
+                                  true, true);
+  const ShardRun t8 = run_sharded(4, 8, true, 0, overload_test_proto(),
+                                  true, true);  // oversubscribed
+  const ShardRun t4_again = run_sharded(4, 4, true, 0,
+                                        overload_test_proto(), true, true);
+  expect_identical(t1, t2, "adaptive threads 1 vs 2");
+  expect_identical(t1, t4, "adaptive threads 1 vs 4");
+  expect_identical(t1, t8, "adaptive threads 1 vs 8");
+  expect_identical(t4, t4_again, "adaptive run-to-run at threads=4");
+}
+
+// ---------------------------------------------------------------------------
+// Batched boundary drains are pure staging at the system layer too:
+// direct delivery (batch 0), a degenerate batch of 1 and the default all
+// produce the same outcomes and telemetry bytes.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminism, DrainBatchSizeInvisibleToOutcomes) {
+  const ShardRun direct = run_sharded(4, 2, /*with_crash=*/true, 0,
+                                      overload_test_proto(), /*storm=*/true,
+                                      /*adaptive=*/false, /*drain_batch=*/0);
+  const ShardRun tiny = run_sharded(4, 2, true, 0, overload_test_proto(),
+                                    true, false, 1);
+  const ShardRun deflt = run_sharded(4, 2, true, 0, overload_test_proto(),
+                                     true, false, 64);
+  expect_identical(direct, tiny, "drain batch 0 vs 1");
+  expect_identical(direct, deflt, "drain batch 0 vs 64");
+}
+
+// ---------------------------------------------------------------------------
+// The link-floor matrix handed to the adaptive runtime must be an exact
+// per-shard-pair minimum of cpf_link over the block partition — the bound
+// the soundness argument in sim/parallel/runtime.hpp relies on.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeterminism, LinkFloorMatrixMatchesTopology) {
+  const core::TopologyConfig topo = four_region_topo();
+  const auto regions = static_cast<std::uint32_t>(topo.total_regions());
+  constexpr std::uint32_t kShards = 4;
+  const std::vector<SimTime> floor =
+      core::ShardedSystem::link_floor_for(topo, kShards);
+  ASSERT_EQ(floor.size(), static_cast<std::size_t>(kShards) * kShards);
+
+  const std::uint32_t per_shard = (regions + kShards - 1) / kShards;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    for (std::uint32_t d = 0; d < kShards; ++d) {
+      if (s == d) continue;  // diagonal unused by the runtime
+      SimTime expect = SimTime::max();
+      for (std::uint32_t a = 0; a < regions; ++a) {
+        for (std::uint32_t b = 0; b < regions; ++b) {
+          if (a / per_shard != s || b / per_shard != d) continue;
+          expect = std::min(expect, topo.cpf_link(a, b));
+        }
+      }
+      EXPECT_EQ(floor[s * kShards + d], expect) << s << "->" << d;
+      // Soundness: every floor is at least the static lookahead + 1ns.
+      EXPECT_GT(floor[s * kShards + d],
+                core::ShardedSystem::lookahead_for(topo, kShards))
+          << s << "->" << d;
+    }
+  }
+  // Single shard: no matrix at all (the runtime runs one window).
+  EXPECT_TRUE(core::ShardedSystem::link_floor_for(topo, 1).empty());
 }
 
 // ---------------------------------------------------------------------------
