@@ -26,6 +26,7 @@
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
 #include "trace/workload.hpp"
+#include "traffic/scenario.hpp"
 
 namespace neutrino::bench {
 
@@ -310,6 +311,14 @@ struct BenchOptions {
   bool adaptive_lookahead = true;
   /// --drain-batch=N: boundary drain staging batch (0 = unstaged).
   std::size_t drain_batch = 64;
+  /// --scenario=NAME: drive the bench with a named traffic-engine
+  /// scenario (src/traffic/scenario.hpp) instead of its built-in
+  /// workload. Empty (default) keeps the built-in workload byte-for-byte.
+  /// Unknown names are a hard error (require_scenario exits 2).
+  std::string scenario;
+  /// --ues=N: override the bench's UE population (0 = bench default).
+  /// Lets the CI scenario stage run every scenario at small scale.
+  std::uint64_t ues = 0;
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
@@ -352,6 +361,10 @@ struct BenchOptions {
       } else if (arg.rfind("--drain-batch=", 0) == 0) {
         o.drain_batch = static_cast<std::size_t>(
             std::strtoul(std::string{arg.substr(14)}.c_str(), nullptr, 10));
+      } else if (arg.rfind("--scenario=", 0) == 0) {
+        o.scenario = arg.substr(11);
+      } else if (arg.rfind("--ues=", 0) == 0) {
+        o.ues = std::strtoull(std::string{arg.substr(6)}.c_str(), nullptr, 10);
       }
     }
     return o;
@@ -372,6 +385,74 @@ struct BenchOptions {
     return max_threads;
   }
 };
+
+/// Resolve --scenario= for a bench: nullptr when the flag is unset (run
+/// the built-in workload), the ScenarioInfo when the name is known, and a
+/// hard exit(2) listing every valid name otherwise — a typo must never
+/// silently run the default workload.
+inline const traffic::ScenarioInfo* require_scenario(
+    const std::string& name) {
+  if (name.empty()) return nullptr;
+  const traffic::ScenarioInfo* info = traffic::find_scenario(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "%s\n",
+                 traffic::unknown_scenario_error(name).c_str());
+    std::exit(2);
+  }
+  return info;
+}
+
+/// Echo the scenario identity and generation parameters into a report's
+/// config (schema v4: validate_report.py checks the shape).
+inline void echo_scenario_config(obs::Json& config,
+                                 const traffic::ScenarioInfo& info,
+                                 const traffic::ScenarioRequest& req) {
+  obs::Json& s = config["scenario"];
+  s["name"] = info.name;
+  s["preattach"] = info.preattach;
+  s["target_pps"] = req.target_pps;
+  s["duration_ms"] = req.duration.sec() * 1e3;
+  s["population"] = req.population;
+  s["regions"] = static_cast<std::int64_t>(req.regions);
+  s["seed"] = req.seed;
+}
+
+/// Attach the offered-arrival accounting of a generated scenario to a
+/// report row (schema v4): "arrivals" (total + per-class counts) and
+/// "arrival_series" (windowed offered-arrival counts over the generation
+/// window — the workload's shape, independent of how the system fared).
+inline void attach_arrivals(obs::Json& row,
+                            const traffic::GeneratedTraffic& traffic,
+                            SimTime duration, std::size_t windows = 32) {
+  obs::Json& arrivals = row["arrivals"];
+  arrivals["total"] = traffic.total();
+  obs::Json& per_class = arrivals["per_class"];
+  per_class.make_object();
+  for (const traffic::ClassArrivals& c : traffic.per_class) {
+    per_class[c.name] = c.count;
+  }
+  obs::Json& series = row["arrival_series"];
+  const std::int64_t window_ns = std::max<std::int64_t>(
+      1, duration.ns() / static_cast<std::int64_t>(windows));
+  series["window_ms"] = static_cast<double>(window_ns) / 1e6;
+  std::vector<std::uint64_t> counts(windows, 0);
+  for (const trace::TraceRecord& rec : traffic.records) {
+    const auto w = static_cast<std::size_t>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(windows) - 1,
+                               rec.at.ns() / window_ns));
+    ++counts[w];
+  }
+  obs::Json& points = series["points"];
+  points.make_array();
+  for (std::size_t w = 0; w < windows; ++w) {
+    obs::Json& p = points.push_back(obs::Json{});
+    p.make_array();
+    p.push_back(static_cast<double>(static_cast<std::int64_t>(w) *
+                                    window_ns) /
+                1e6);
+    p.push_back(counts[w]);
+  }
+}
 
 /// Structured experiment export (ISSUE: one code path for every bench).
 ///

@@ -46,6 +46,34 @@ namespace core = neutrino::core;
 namespace sim = neutrino::sim;
 namespace bench = neutrino::bench;
 namespace obs = neutrino::obs;
+namespace trace = neutrino::trace;
+namespace traffic = neutrino::traffic;
+
+/// --scenario=NAME: overlay a traffic-engine scenario onto a generated
+/// schedule as plain kProcedure events (the generator's own failure and
+/// overload actions are untouched — chaos::generate draws byte-identical
+/// with or without the flag, so the same seed crashes the same CPFs at
+/// the same instants; only the foreground workload changes).
+void overlay_scenario(chaos::Schedule& s, const std::string& name,
+                      const traffic::ScenarioRequest& req) {
+  const auto gen = traffic::generate_scenario(name, req);
+  s.events.reserve(s.events.size() + gen->records.size());
+  for (const trace::TraceRecord& rec : gen->records) {
+    chaos::Event e;
+    e.at = rec.at;
+    e.kind = chaos::EventKind::kProcedure;
+    e.ue = rec.ue.value();
+    e.proc = rec.type;
+    e.target_region = rec.target_region;
+    s.events.push_back(e);
+  }
+  // Equal-timestamp order stays deterministic: generator events first
+  // (their original order), then scenario arrivals (generation order).
+  std::stable_sort(s.events.begin(), s.events.end(),
+                   [](const chaos::Event& a, const chaos::Event& b) {
+                     return a.at < b.at;
+                   });
+}
 
 struct CampaignArgs {
   std::uint64_t seeds = 500;
@@ -267,7 +295,23 @@ int main(int argc, char** argv) {
   gen.failure_bursts = 6;
   gen.overload_bursts = args.overload_bursts;
 
+  // Scenario overlay parameters: the scenario replaces none of the
+  // generated schedule — it adds a realistic foreground at roughly the
+  // generator's own action rate, re-seeded per campaign seed.
+  const traffic::ScenarioInfo* scen = bench::require_scenario(opts.scenario);
+  traffic::ScenarioRequest screq;
+  if (scen != nullptr) {
+    screq.population = gen.ues;
+    screq.regions = static_cast<int>(gen.regions);
+    screq.duration = gen.window;
+    screq.target_pps = static_cast<double>(gen.actions) / gen.window.sec();
+  }
+
   std::printf("# chaos — randomized failure campaign\n");
+  if (scen != nullptr) {
+    std::printf("# scenario overlay: %s (~%.0f arrivals/s)\n",
+                std::string(scen->name).c_str(), screq.target_pps);
+  }
   std::printf(
       "# %llu seeds, %u regions x %u CPFs, %u UEs, %u overload storms; "
       "runtimes: legacy, sharded-1x1, sharded-%ux%u\n",
@@ -314,7 +358,11 @@ int main(int argc, char** argv) {
   constexpr std::size_t kMaxShrinks = 3;
 
   for (std::uint64_t seed = 1; seed <= args.seeds; ++seed) {
-    const chaos::Schedule s = chaos::generate(gen, seed, &oracle);
+    chaos::Schedule s = chaos::generate(gen, seed, &oracle);
+    if (scen != nullptr) {
+      screq.seed = seed;
+      overlay_scenario(s, opts.scenario, screq);
+    }
     std::vector<chaos::RunOutcome> outs;
     outs.reserve(runtimes.size());
     for (RuntimeAgg& rt : runtimes) {
@@ -396,6 +444,13 @@ int main(int argc, char** argv) {
   doc["config"]["window_ns"] = static_cast<std::int64_t>(gen.window.ns());
   doc["config"]["shards"] = shards;
   doc["config"]["threads"] = threads;
+  if (scen != nullptr) {
+    // The overlay re-seeds per campaign seed; echo the shared parameters
+    // with seed 0 as the placeholder.
+    traffic::ScenarioRequest echo = screq;
+    echo.seed = 0;
+    bench::echo_scenario_config(doc["config"], *scen, echo);
+  }
   doc["seeds_run"] = args.seeds;
   doc["mismatches"] = mismatches;
   obs::Json& rows = doc["per_runtime"];

@@ -19,6 +19,7 @@
 // backlog exceeds the configured bound (unbounded growth).
 #include <cinttypes>
 #include <cstdio>
+#include <optional>
 
 #include "bench_util.hpp"
 #include "obs/throughput.hpp"
@@ -79,9 +80,39 @@ int main(int argc, char** argv) {
                        "backlog grows without bound");
   const core::TopologyConfig topo;  // library default slice
   const auto regions = static_cast<std::uint32_t>(topo.total_regions());
-  const std::uint64_t population = report.smoke() ? 2'000 : 10'000;
+  const std::uint64_t population =
+      report.options().ues != 0 ? report.options().ues
+                                : (report.smoke() ? 2'000 : 10'000);
   const SimTime window =
       report.smoke() ? SimTime::milliseconds(200) : SimTime::seconds(1);
+
+  // --scenario=NAME sweeps a traffic-engine scenario through the knee
+  // instead of the constant-rate uniform mix (the knee is recalibrated
+  // from the scenario's own procedure mix). Unset keeps the built-in
+  // workload byte-for-byte; unknown names exit 2.
+  const traffic::ScenarioInfo* scen =
+      bench::require_scenario(report.options().scenario);
+  traffic::ScenarioRequest screq;
+  screq.duration = window;
+  screq.population = population;
+  screq.regions = static_cast<int>(regions);
+  screq.seed = 23;
+  std::optional<traffic::GeneratedTraffic> scen_traffic;
+  const auto offered = [&](double rate_pps) {
+    if (scen == nullptr) {
+      scen_traffic.reset();
+      return make_offered(rate_pps, window, population,
+                          static_cast<int>(regions));
+    }
+    screq.target_pps = rate_pps;
+    scen_traffic =
+        traffic::generate_scenario(report.options().scenario, screq);
+    return scen_traffic->records;
+  };
+  if (scen != nullptr) {
+    screq.target_pps = 0;  // echoed per-row; the sweep sets the rate
+    bench::echo_scenario_config(report.config(), *scen, screq);
+  }
 
   // --- Knee calibration --------------------------------------------------
   // Probe far below saturation; busy seconds per completed procedure are
@@ -93,9 +124,9 @@ int main(int argc, char** argv) {
     bench::ExperimentConfig cfg;
     cfg.policy = core::neutrino_policy();
     cfg.topo = topo;
-    cfg.preattached_ues = population;
-    const auto t = make_offered(/*rate_pps=*/500, window, population,
-                                static_cast<int>(regions));
+    cfg.preattached_ues =
+        (scen == nullptr || scen->preattach) ? population : 0;
+    const auto t = offered(/*rate_pps=*/500);
     const auto result = bench::run_experiment(
         cfg, t, [](core::System&, sim::EventLoop&) {},
         [&](core::System& system) { probe_load = scan_pools(system, topo); });
@@ -137,13 +168,13 @@ int main(int argc, char** argv) {
     cfg.policy = core::neutrino_policy();
     cfg.topo = topo;
     cfg.proto = proto;
-    cfg.preattached_ues = population;
+    cfg.preattached_ues =
+        (scen == nullptr || scen->preattach) ? population : 0;
     cfg.streaming_pct = true;  // storm-scale run; percentiles not needed
     cfg.telemetry_window = report.options().telemetry_window();
     cfg.record_trace_events = trace_this_run;
     const double rate = knee_pps * mult;
-    const auto t = make_offered(rate, window, population,
-                                static_cast<int>(regions));
+    const auto t = offered(rate);
     PoolLoad load;
     rss_meter.begin_run();
     const auto result = bench::run_experiment(
@@ -191,6 +222,10 @@ int main(int argc, char** argv) {
     row["peak_cpf_depth"] = static_cast<std::uint64_t>(load.peak_cpf_depth);
     row["peak_rss_bytes"] = rss;
     row["peak_rss_delta_bytes"] = static_cast<std::uint64_t>(rss_delta);
+    if (scen != nullptr) {
+      row["scenario"] = report.options().scenario;
+      bench::attach_arrivals(row, *scen_traffic, window);
+    }
     bench::Report::attach_result(row, result);
   };
 

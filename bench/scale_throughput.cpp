@@ -12,6 +12,7 @@
 // (no per-procedure sample retention). The run fails (non-zero exit) if
 // any procedure fails to complete or a Read-your-Writes violation occurs.
 #include <cinttypes>
+#include <optional>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -38,7 +39,11 @@ int main(int argc, char** argv) {
   bench::Report report("scale", "million-UE storm: simulator throughput",
                        "simulation-core perf gate (events/sec baseline)",
                        opts);
-  const std::uint64_t n_ues = report.smoke() ? 100'000 : 1'000'000;
+  // --scenario=NAME swaps the built-in two-wave storm for a traffic-engine
+  // scenario (same average rate, same population); unknown names exit 2.
+  const traffic::ScenarioInfo* scen = bench::require_scenario(opts.scenario);
+  const std::uint64_t n_ues =
+      opts.ues != 0 ? opts.ues : (report.smoke() ? 100'000 : 1'000'000);
   // ~17 KPPS offered load: below the EPC saturation knee (Fig. 8), so the
   // measurement is simulator throughput, not modeled queueing collapse.
   const SimTime attach_window =
@@ -54,11 +59,29 @@ int main(int argc, char** argv) {
   report.config()["hardware_threads"] =
       static_cast<std::uint64_t>(std::thread::hardware_concurrency());
 
-  // Build the two-wave trace: attach storm, then a service-request storm.
-  trace::BurstyWorkload attaches(n_ues, attach_window, /*seed=*/42);
-  std::vector<trace::TraceRecord> t = attaches.generate();
-  t.reserve(t.size() * 2);
-  {
+  // Scenario generation parameters (scenario mode only): the storm's
+  // average rate over the attach window, re-generated per topology because
+  // UE homes are ue % regions.
+  traffic::ScenarioRequest screq;
+  screq.target_pps = 16'667;
+  screq.duration = attach_window;
+  screq.population = n_ues;
+  screq.seed = 42;
+
+  // Build the offered trace. Default: the two-wave storm — attach burst,
+  // then a service-request storm — byte-identical to what this bench has
+  // always offered when --scenario= is unset.
+  std::vector<trace::TraceRecord> t;
+  std::optional<traffic::GeneratedTraffic> scen_traffic;
+  if (scen != nullptr) {
+    screq.regions = static_cast<int>(core::TopologyConfig{}.total_regions());
+    scen_traffic = traffic::generate_scenario(opts.scenario, screq);
+    t = scen_traffic->records;
+    bench::echo_scenario_config(report.config(), *scen, screq);
+  } else {
+    trace::BurstyWorkload attaches(n_ues, attach_window, /*seed=*/42);
+    t = attaches.generate();
+    t.reserve(t.size() * 2);
     Rng rng(1337);
     const SimTime base = attach_window + wave_gap;
     const std::size_t n_attach = t.size();
@@ -90,6 +113,7 @@ int main(int argc, char** argv) {
     cfg.proto = core::ProtocolConfig{};
     cfg.streaming_pct = true;  // constant-memory PCT at storm scale
     cfg.telemetry_window = opts.telemetry_window();
+    if (scen != nullptr && scen->preattach) cfg.preattached_ues = n_ues;
     rss_meter.begin_run();
     auto result = bench::run_experiment(cfg, t);  // pct_for is non-const
     const std::size_t rss_delta = rss_meter.run_delta_bytes();
@@ -128,6 +152,10 @@ int main(int argc, char** argv) {
         core::ProcedureType::kAttach));
     row["service_request_ms"] = streaming_summary(result.metrics.pct_for(
         core::ProcedureType::kServiceRequest));
+    if (scen != nullptr) {
+      row["scenario"] = opts.scenario;
+      bench::attach_arrivals(row, *scen_traffic, screq.duration);
+    }
     bench::Report::attach_result(row, result);
 
     if (completed != started || ryw != 0) {
@@ -155,6 +183,18 @@ int main(int argc, char** argv) {
     cfg.telemetry_window = opts.telemetry_window();
     cfg.adaptive_lookahead = opts.adaptive_lookahead;
     cfg.drain_batch = opts.drain_batch;
+    // Scenario mode regenerates the trace for the partitioned topology
+    // (UE homes are ue % regions, so the shard count changes the homing);
+    // the generator itself is single-threaded and deterministic, so every
+    // thread count replays the identical record stream.
+    std::optional<traffic::GeneratedTraffic> sharded_traffic;
+    if (scen != nullptr) {
+      screq.regions = static_cast<int>(cfg.topo.total_regions());
+      sharded_traffic = traffic::generate_scenario(opts.scenario, screq);
+      cfg.preattached_ues = scen->preattach ? n_ues : 0;
+    }
+    const std::vector<trace::TraceRecord>& ts =
+        sharded_traffic ? sharded_traffic->records : t;
     report.config()["shards"] = shards;
     report.config()["sharded_regions"] = cfg.topo.total_regions();
     report.config()["adaptive_lookahead"] = opts.adaptive_lookahead;
@@ -170,7 +210,7 @@ int main(int argc, char** argv) {
     double baseline_wall = 0.0;
     {
       rss_meter.begin_run();
-      auto result = bench::run_experiment(cfg, t);
+      auto result = bench::run_experiment(cfg, ts);
       const std::size_t rss_delta = rss_meter.run_delta_bytes();
       baseline_wall = result.wall_seconds;
       const double events_per_sec =
@@ -214,7 +254,7 @@ int main(int argc, char** argv) {
       obs::PhaseProfiler profiler(std::max<std::size_t>(shards, threads));
       rss_meter.begin_run();
       auto result =
-          bench::run_sharded_experiment(cfg, t, shards, threads, &profiler);
+          bench::run_sharded_experiment(cfg, ts, shards, threads, &profiler);
       const std::size_t rss_delta = rss_meter.run_delta_bytes();
       if (cfg.record_trace_events) {
         bench::write_trace_file(
@@ -263,6 +303,10 @@ int main(int argc, char** argv) {
           core::ProcedureType::kServiceRequest));
       row["adaptive_lookahead"] = opts.adaptive_lookahead;
       row["drain_batch"] = static_cast<std::uint64_t>(opts.drain_batch);
+      if (scen != nullptr) {
+        row["scenario"] = opts.scenario;
+        bench::attach_arrivals(row, *sharded_traffic, screq.duration);
+      }
       bench::Report::attach_result(row, result);
       bench::Report::attach_profiler(row, profiler);
       if (threads == 1) threads1_wall = result.wall_seconds;
@@ -284,7 +328,7 @@ int main(int argc, char** argv) {
       flipped.record_trace_events = false;
       flipped.adaptive_lookahead = !opts.adaptive_lookahead;
       rss_meter.begin_run();
-      auto result = bench::run_sharded_experiment(flipped, t, shards, 1);
+      auto result = bench::run_sharded_experiment(flipped, ts, shards, 1);
       const std::size_t rss_delta = rss_meter.run_delta_bytes();
       const double events_per_sec =
           result.wall_seconds > 0

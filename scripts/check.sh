@@ -213,6 +213,50 @@ build-release/bench/fig_saturation --telemetry --trace-out="$trace" \
   --report="$out" >/dev/null
 python3 scripts/validate_report.py "$out" "$trace"
 
+# Traffic scenarios (DESIGN.md §17): the per-scenario saturation sweep
+# with its calibrated acceptance gate (fig_scenarios exits non-zero when
+# any scenario misses zero-RYW / >=99%-completion at its knee), then every
+# named scenario through scale_throughput's legacy AND sharded runtimes
+# with a bit-identical cross-thread-count comparison, and finally a chaos
+# campaign with a scenario overlaid on the generated failure schedules.
+echo "== traffic scenarios (build-release)"
+cmake --build build-release -j --target fig_scenarios scale_throughput \
+  chaos_campaign
+out=build-release/bench/fig_scenarios.smoke-report.json
+build-release/bench/fig_scenarios --smoke --report="$out" >/dev/null
+python3 scripts/validate_report.py "$out"
+python3 scripts/summarize_bench.py "$out"
+rm -f build-release/bench/scale-scenario-*.json
+for sc in legacy-uniform legacy-bursty commuter-morning stadium-egress \
+          iot-firmware-push region-blackout-reconnect; do
+  out="build-release/bench/scale-scenario-$sc.json"
+  build-release/bench/scale_throughput --smoke --ues=2000 --scenario="$sc" \
+    --threads=1,2 --shards=2 --report="$out" >/dev/null
+  python3 scripts/validate_report.py "$out"
+done
+python3 - build-release/bench/scale-scenario-*.json <<'PY'
+import json, sys
+# Bit-identical outcomes across worker threads for every scenario: the
+# threads=1 and threads=2 sharded rows must agree on everything the run
+# computes (counters, windows, cross-shard traffic, per-shard events).
+for path in sys.argv[1:]:
+    text = open(path).read()
+    doc = json.loads(text[text.find("{"):])
+    sharded = {r["threads"]: r for r in doc["rows"]
+               if r.get("mode") == "sharded"
+               and r.get("adaptive_lookahead", True)}
+    a, b = sharded[1], sharded[2]
+    for k in ("counters", "windows", "cross_shard_messages", "shard_events",
+              "adaptive_extensions", "dispatches_skipped", "arrivals"):
+        assert a[k] == b[k], f"{path}: {k} differs across thread counts"
+    print(f"  deterministic across threads: {path}")
+PY
+out=build-release/bench/chaos_campaign.scenario-report.json
+build-release/bench/chaos_campaign --smoke --seeds=10 \
+  --scenario=iot-firmware-push --shards=4 --threads=2 \
+  --repro-dir=build-release/bench --report="$out" >/dev/null
+python3 scripts/validate_report.py "$out"
+
 # Release chaos campaign: 50 seeds across legacy / 1-shard / multi-shard
 # runtimes; any invariant violation shrinks to a replayable reproducer and
 # fails the gate.

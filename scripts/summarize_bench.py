@@ -213,6 +213,47 @@ def timeseries_view(doc):
                   f"max={s.get('max', 0):g}")
 
 
+def scenario_table(doc):
+    """fig_scenarios: per-scenario knee sweep — completion, merged PCT and
+    overload counters per offered multiple, plus the offered-arrival shape
+    as a sparkline (the scenario's envelope/spike structure)."""
+    config = doc.get("config", {})
+    knees = config.get("knees", {})
+    by_scenario = defaultdict(list)
+    for row in doc.get("rows", []):
+        if row.get("scenario"):
+            by_scenario[row["scenario"]].append(row)
+    for name in config.get("scenarios", sorted(by_scenario)):
+        rows = sorted(by_scenario.get(name, []), key=lambda r: r.get("x", 0))
+        if not rows:
+            continue
+        knee = knees.get(name)
+        knee_str = f"{knee / 1e3:.0f}k pps" if isinstance(
+            knee, (int, float)) else "?"
+        print(f"\n  {name}  (knee {knee_str})")
+        print(f"  {'x':>5} {'offered':>10} {'compl':>7} {'p50ms':>8} "
+              f"{'p95ms':>9} {'p99ms':>9} {'sheds':>7} {'retx':>7} "
+              f"{'exhaust':>7}")
+        for r in rows:
+            pct = r.get("pct_ms", {})
+            counters = r.get("counters", {})
+            print(f"  {r.get('x', 0):>5.2f} "
+                  f"{r.get('offered_pps', 0):>10.0f} "
+                  f"{r.get('completion_rate', 0):>7.4f} "
+                  f"{pct.get('p50', 0):>8.3f} {pct.get('p95', 0):>9.3f} "
+                  f"{pct.get('p99', 0):>9.3f} "
+                  f"{counters.get('core.attach_sheds', 0):>7} "
+                  f"{counters.get('core.nas_retransmissions', 0):>7} "
+                  f"{counters.get('core.retx_exhausted', 0):>7}")
+        series = rows[-1].get("arrival_series", {})
+        vals = [p[1] for p in series.get("points", [])
+                if isinstance(p, list) and len(p) == 2]
+        if vals:
+            print(f"  arrivals {sparkline(vals)}  "
+                  f"(window {series.get('window_ms', 0):g} ms, "
+                  f"peak {max(vals)})")
+
+
 def summarize_tsv(path):
     rows = parse(path)
     for fig in sorted(rows):
@@ -260,10 +301,19 @@ def main():
             if baseline_path and \
                     os.path.realpath(path) != os.path.realpath(baseline_path):
                 prev_rows = load_baseline_rows(baseline_path)
+            if doc.get("figure") == "fig_scenarios":
+                print(f"\n== fig_scenarios: per-scenario saturation "
+                      f"({path}) ==")
+                scenario_table(doc)
+                timeseries_view(doc)
+                continue
             print(f"\n== {doc.get('figure', path)}: sharded-runtime "
                   f"scaling ({path}) ==")
             if prev_rows:
                 print(f"  (vs previous: {baseline_path})")
+            scenario = doc.get("config", {}).get("scenario")
+            if isinstance(scenario, dict) and scenario.get("name"):
+                print(f"  (scenario: {scenario['name']})")
             scaling_table(doc, prev_rows)
             timeseries_view(doc)
         else:

@@ -33,12 +33,25 @@ neutrino.bench-report:
     (violations/count)/(1-q); a "profiler" section has non-negative
     ns/calls, shares in [0,1] summing to 1, and lane totals matching the
     per-phase totals;
+  * version >= 4 (traffic scenarios, DESIGN.md §17): a config "scenario"
+    object names a valid generation request (non-empty name, bool
+    preattach, numeric rate/duration/population/regions/seed); every row
+    carrying "scenario" also carries "arrivals" (per-class counts summing
+    to the total) and an "arrival_series" whose windowed counts are
+    non-negative, strictly monotone in time and sum to the total;
   * figure "fig_saturation" additionally: a calibrated knee and queue
     capacity in config; every overload-control row has zero RYW
     violations, >= 99% completion and a peak queue depth within 2x the
     configured capacity; the 2x-knee row actually shed attaches; and the
     unbounded baseline's peak depth exceeds that bound (the backlog the
-    controller is there to prevent).
+    controller is there to prevent). Scenario-mode sweeps (config carries
+    "scenario") skip these gates: the calibrated acceptance story for
+    named scenarios lives in fig_scenarios.
+  * figure "fig_scenarios" additionally: config.scenarios is a non-empty
+    string list with a positive calibrated knee per scenario; every row
+    names a scenario from that list with offered_pps/knee_pps > 0, a
+    completion_rate in [0,1] and a pct_ms summary; each scenario's
+    x=1.0 (knee) row shows zero RYW violations and >= 99% completion.
 
 Chrome/Perfetto trace-event JSON (a document with "traceEvents" and no
 "schema" key, as written by --trace-out=):
@@ -352,6 +365,8 @@ def check_rows(path, rows, errors, version):
             check_slo(path, f"{where}.slo", row["slo"], errors)
         if "profiler" in row:
             check_profiler(path, f"{where}.profiler", row["profiler"], errors)
+        if version >= 4 and "scenario" in row:
+            check_scenario_row(path, where, row, errors)
         if "decomposition_ms" in row:
             decomposed += 1
             check_decomposition(path, where, row["decomposition_ms"], errors)
@@ -362,6 +377,126 @@ def check_rows(path, rows, errors, version):
                 check_decomposition(path, f"{where}.{key}",
                                     row[key]["decomposition_ms"], errors)
     return decomposed
+
+
+def check_scenario_config(path, scenario, errors):
+    """Schema v4: the config 'scenario' object echoed by --scenario= runs."""
+    where = "config.scenario"
+    name = scenario.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{path}: {where}: name = {name!r}")
+    if not isinstance(scenario.get("preattach"), bool):
+        errors.append(f"{path}: {where}: preattach = "
+                      f"{scenario.get('preattach')!r}, want bool")
+    for k in ("target_pps", "duration_ms", "population", "regions", "seed"):
+        v = scenario.get(k)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            errors.append(f"{path}: {where}: {k} = {v!r}")
+
+
+def check_scenario_row(path, where, row, errors):
+    """Schema v4: rows carrying 'scenario' must account for their offered
+    arrivals: per-class counts and a windowed series both summing to the
+    total."""
+    if not isinstance(row.get("scenario"), str) or not row["scenario"]:
+        errors.append(f"{path}: {where}: scenario = {row.get('scenario')!r}")
+    arrivals = row.get("arrivals")
+    if not isinstance(arrivals, dict):
+        errors.append(f"{path}: {where}: scenario row without 'arrivals'")
+        return
+    total = arrivals.get("total")
+    if not nonneg_int(total):
+        errors.append(f"{path}: {where}: arrivals.total = {total!r}")
+        return
+    per_class = arrivals.get("per_class")
+    if not isinstance(per_class, dict) or not per_class:
+        errors.append(f"{path}: {where}: arrivals.per_class = {per_class!r}")
+    else:
+        bad = [k for k, v in per_class.items() if not nonneg_int(v)]
+        if bad:
+            errors.append(f"{path}: {where}: non-integer class counts {bad}")
+        elif sum(per_class.values()) != total:
+            errors.append(
+                f"{path}: {where}: per-class counts sum to "
+                f"{sum(per_class.values())}, total is {total}")
+    series = row.get("arrival_series")
+    if not isinstance(series, dict):
+        errors.append(f"{path}: {where}: scenario row without "
+                      f"'arrival_series'")
+        return
+    window_ms = series.get("window_ms")
+    if not isinstance(window_ms, (int, float)) or window_ms <= 0:
+        errors.append(f"{path}: {where}: arrival_series.window_ms = "
+                      f"{window_ms!r}")
+    points = series.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append(f"{path}: {where}: arrival_series without points")
+        return
+    prev_t = None
+    count_sum = 0
+    for p in points:
+        if (not isinstance(p, list) or len(p) != 2 or
+                not isinstance(p[0], (int, float)) or not nonneg_int(p[1])):
+            errors.append(f"{path}: {where}: malformed arrival point {p!r}")
+            return
+        if p[0] < 0 or (prev_t is not None and p[0] <= prev_t):
+            errors.append(f"{path}: {where}: arrival timestamps not "
+                          f"strictly monotone at t={p[0]!r}")
+            return
+        prev_t = p[0]
+        count_sum += p[1]
+    if count_sum != total:
+        errors.append(f"{path}: {where}: arrival_series sums to "
+                      f"{count_sum}, arrivals.total is {total}")
+
+
+def check_scenarios_figure(path, doc, errors):
+    """fig_scenarios: per-scenario knee calibration + the ISSUE acceptance
+    gate (zero RYW, >= 99% completion at every scenario's 1x-knee row)."""
+    config = doc.get("config", {})
+    names = config.get("scenarios")
+    if (not isinstance(names, list) or not names or
+            any(not isinstance(n, str) or not n for n in names)):
+        errors.append(f"{path}: config.scenarios = {names!r}")
+        return
+    knees = config.get("knees", {})
+    for name in names:
+        knee = knees.get(name) if isinstance(knees, dict) else None
+        if not isinstance(knee, (int, float)) or isinstance(knee, bool) or \
+                knee <= 0:
+            errors.append(f"{path}: config.knees[{name}] = {knee!r}")
+    at_knee = {}
+    for i, row in enumerate(doc.get("rows", [])):
+        where = f"rows[{i}]"
+        name = row.get("scenario")
+        if name not in names:
+            errors.append(f"{path}: {where}: scenario {name!r} not in "
+                          f"config.scenarios")
+            continue
+        for k in ("offered_pps", "knee_pps"):
+            v = row.get(k)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or \
+                    v <= 0:
+                errors.append(f"{path}: {where}: {k} = {v!r}")
+        completion = row.get("completion_rate")
+        if not isinstance(completion, (int, float)) or \
+                not 0.0 <= completion <= 1.0:
+            errors.append(f"{path}: {where}: completion_rate = "
+                          f"{completion!r}")
+            continue
+        if "pct_ms" not in row:
+            errors.append(f"{path}: {where}: missing pct_ms")
+        if row.get("x") == 1.0:
+            at_knee[name] = True
+            if row.get("counters", {}).get("core.ryw_violations", 0) != 0:
+                errors.append(f"{path}: {where}: {name}: RYW violations at "
+                              f"the knee")
+            if completion < 0.99:
+                errors.append(f"{path}: {where}: {name}: knee completion "
+                              f"{completion!r} < 0.99")
+    for name in names:
+        if name not in at_knee:
+            errors.append(f"{path}: scenario {name} has no x=1.0 (knee) row")
 
 
 def check_saturation(path, doc, errors):
@@ -501,8 +636,17 @@ def validate(path):
             errors.append(f"{path}: config.sync_overhead_threads1 = "
                           f"{overhead!r}")
     decomposed = check_rows(path, doc.get("rows", []), errors, version)
-    if doc.get("figure") == "fig_saturation":
+    scenario_mode = isinstance(config, dict) and "scenario" in config
+    if scenario_mode:
+        if isinstance(config["scenario"], dict):
+            check_scenario_config(path, config["scenario"], errors)
+        else:
+            errors.append(f"{path}: config.scenario = "
+                          f"{config['scenario']!r}, want object")
+    if doc.get("figure") == "fig_saturation" and not scenario_mode:
         check_saturation(path, doc, errors)
+    if doc.get("figure") == "fig_scenarios":
+        check_scenarios_figure(path, doc, errors)
     return errors, decomposed
 
 

@@ -23,7 +23,12 @@ inline constexpr std::string_view kBenchReportSchema = "neutrino.bench-report";
 //       (fixed-interval windowed series), "slo" (per-procedure targets +
 //       windowed burn rates) and "profiler" (wall-clock phase shares —
 //       nondeterministic by design, never compared byte-for-byte).
-inline constexpr int kBenchReportVersion = 3;
+//   4 — traffic scenarios (DESIGN.md §17): benches run with --scenario=
+//       echo a config "scenario" object (name + generation parameters);
+//       scenario-driven rows carry "scenario", an "arrivals" section
+//       (total + per-class counts summing to it) and an "arrival_series"
+//       (windowed offered-arrival counts summing to the total).
+inline constexpr int kBenchReportVersion = 4;
 
 /// count/mean/p50/p90/p99/p999/max of a recorder, as a JSON object.
 inline Json summary_json(const LatencyRecorder& r) {

@@ -4,6 +4,7 @@
 // generators reproduce.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -19,6 +20,45 @@ struct TraceRecord {
   std::uint32_t target_region = 0;  // handovers
 };
 
+/// The documented total order over trace records: (at, ue, type). Streams
+/// produced by independent generators (one per device class, one per
+/// shard, ...) merge deterministically under this order regardless of
+/// generation order — the same construction as the flight recorder's
+/// (time, shard, seq) merge. Records identical in all three keys are
+/// interchangeable arrivals, so any tie-break among them is immaterial.
+inline bool record_before(const TraceRecord& a, const TraceRecord& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.ue.value() != b.ue.value()) return a.ue.value() < b.ue.value();
+  return static_cast<int>(a.type) < static_cast<int>(b.type);
+}
+
+/// Sort a record stream into the (at, ue, type) total order.
+inline void sort_records(std::vector<TraceRecord>& records) {
+  std::sort(records.begin(), records.end(), record_before);
+}
+
+/// K-way merge of streams each already sorted by record_before; the
+/// result is the (at, ue, type)-sorted concatenation. Pairwise std::merge
+/// keeps this O(n log k) without a heap.
+inline std::vector<TraceRecord> merge_sorted_records(
+    std::vector<std::vector<TraceRecord>> streams) {
+  while (streams.size() > 1) {
+    std::vector<std::vector<TraceRecord>> next;
+    next.reserve(streams.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < streams.size(); i += 2) {
+      std::vector<TraceRecord> merged;
+      merged.reserve(streams[i].size() + streams[i + 1].size());
+      std::merge(streams[i].begin(), streams[i].end(),
+                 streams[i + 1].begin(), streams[i + 1].end(),
+                 std::back_inserter(merged), record_before);
+      next.push_back(std::move(merged));
+    }
+    if (streams.size() % 2 == 1) next.push_back(std::move(streams.back()));
+    streams = std::move(next);
+  }
+  return streams.empty() ? std::vector<TraceRecord>{} : std::move(streams[0]);
+}
+
 /// Procedure mix (fractions; attach gets the remainder).
 struct ProcedureMix {
   double service_request = 0.0;
@@ -29,6 +69,14 @@ struct ProcedureMix {
 /// §6.1 "uniform traffic to emulate a pre-specified number of control
 /// procedure requests per second": Poisson arrivals at `rate_pps`, each
 /// from a distinct UE of a cycling population.
+///
+/// Mix contract: the fractions apply as configured whenever the topology
+/// can express them. Inter-region handover needs `regions > 1`; on a
+/// single-region topology the handover mass is *renormalized into
+/// intra-handover* (the nearest expressible procedure) rather than
+/// silently falling through to whatever branch the dice land in — the
+/// effective mix is therefore {service_request, 0, handover +
+/// intra_handover} with attach keeping exactly its configured remainder.
 class UniformWorkload {
  public:
   UniformWorkload(double rate_pps, SimTime duration, ProcedureMix mix,
@@ -37,6 +85,12 @@ class UniformWorkload {
 
   std::vector<TraceRecord> generate(std::uint64_t ue_population,
                                     int regions) {
+    // Renormalize the mix for the topology (see the class comment).
+    ProcedureMix mix = mix_;
+    if (regions <= 1) {
+      mix.intra_handover += mix.handover;
+      mix.handover = 0.0;
+    }
     std::vector<TraceRecord> out;
     out.reserve(static_cast<std::size_t>(rate_pps_ * duration_.sec() * 1.1));
     double t = 0.0;
@@ -52,13 +106,13 @@ class UniformWorkload {
       const double dice = rng_.next_double();
       const auto r = static_cast<std::uint32_t>(regions);
       const auto home = static_cast<std::uint32_t>(rec.ue.value() % r);
-      if (dice < mix_.service_request) {
+      if (dice < mix.service_request) {
         rec.type = core::ProcedureType::kServiceRequest;
-      } else if (dice < mix_.service_request + mix_.handover && regions > 1) {
+      } else if (dice < mix.service_request + mix.handover) {
         rec.type = core::ProcedureType::kHandover;
         rec.target_region = (home + 1) % r;
-      } else if (dice < mix_.service_request + mix_.handover +
-                            mix_.intra_handover) {
+      } else if (dice < mix.service_request + mix.handover +
+                            mix.intra_handover) {
         rec.type = core::ProcedureType::kIntraHandover;
         rec.target_region = home;
       } else {

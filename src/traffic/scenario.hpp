@@ -1,0 +1,275 @@
+// Named scenario library over the traffic engine (DESIGN.md §17).
+//
+// Every bench accepts --scenario=NAME and resolves it here, so one string
+// selects the same generative workload across scale_throughput,
+// fig_saturation, fig_scenarios and chaos_campaign. Scenarios map the
+// paper's §6.1 workloads and arXiv 2212.13248's measured structure onto
+// EngineConfig presets:
+//
+//   legacy-uniform            the paper's uniform Poisson mix (via
+//                             UniformWorkload; compatibility baseline)
+//   legacy-bursty             the paper's synchronized attach burst (via
+//                             BurstyWorkload; compatibility baseline)
+//   commuter-morning          smartphones through a rising AM ramp;
+//                             service-request-heavy chain with mobility
+//   stadium-egress            flat load, then a 3x mobility/TAU spike as
+//                             the crowd leaves
+//   iot-firmware-push         80% duty-cycled IoT reporting in
+//                             synchronized wakeup slots + a mid-run push
+//                             wave, 20% smartphones
+//   region-blackout-reconnect power cut (zero arrivals), then the whole
+//                             population re-registers in a decaying wave
+//
+// An unknown name is a hard error: benches print unknown_scenario_error()
+// (which lists every valid name) and exit non-zero, rather than silently
+// running the default workload.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "traffic/engine.hpp"
+
+namespace neutrino::traffic {
+
+/// The knobs a bench supplies; everything else is the scenario's identity.
+struct ScenarioRequest {
+  double target_pps = 1000.0;
+  SimTime duration = SimTime::seconds(10);
+  std::uint64_t population = 10'000;
+  int regions = 1;
+  bool allow_inter_region = false;
+  std::uint64_t seed = 1;
+};
+
+struct ScenarioInfo {
+  std::string_view name;
+  std::string_view summary;
+  /// Whether benches should preattach the UE population before replay
+  /// (false for scenarios whose story begins with registration).
+  bool preattach = true;
+};
+
+inline const std::vector<ScenarioInfo>& scenarios() {
+  static const std::vector<ScenarioInfo> kScenarios = {
+      {"legacy-uniform",
+       "uniform Poisson mix (paper §6.1 compatibility baseline)", true},
+      {"legacy-bursty",
+       "synchronized attach burst (paper §6.1 compatibility baseline)",
+       false},
+      {"commuter-morning",
+       "smartphone population through a rising commute ramp", true},
+      {"stadium-egress", "flat load, then a 3x mobility spike", true},
+      {"iot-firmware-push",
+       "duty-cycled IoT wakeup slots + a firmware-push wave", true},
+      {"region-blackout-reconnect",
+       "power cut, then a synchronized re-registration wave", false},
+  };
+  return kScenarios;
+}
+
+inline const ScenarioInfo* find_scenario(std::string_view name) {
+  for (const ScenarioInfo& s : scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+inline std::string scenario_names_csv() {
+  std::string out;
+  for (const ScenarioInfo& s : scenarios()) {
+    if (!out.empty()) out += ", ";
+    out += s.name;
+  }
+  return out;
+}
+
+/// The hard-error message for an unrecognized --scenario= value.
+inline std::string unknown_scenario_error(std::string_view name) {
+  return "unknown scenario '" + std::string{name} +
+         "'; valid scenarios: " + scenario_names_csv();
+}
+
+namespace detail {
+
+inline MarkovChain smartphone_chain() {
+  // attach, service, handover, intra, tau — rows normalized by next().
+  MarkovChain c;
+  c.set_row(ProcState::kAttach, 0.02, 0.68, 0.05, 0.15, 0.10);
+  c.set_row(ProcState::kServiceRequest, 0.03, 0.52, 0.08, 0.22, 0.15);
+  c.set_row(ProcState::kHandover, 0.02, 0.58, 0.10, 0.20, 0.10);
+  c.set_row(ProcState::kIntraHandover, 0.02, 0.56, 0.08, 0.24, 0.10);
+  c.set_row(ProcState::kTau, 0.03, 0.62, 0.05, 0.15, 0.15);
+  return c;
+}
+
+inline MarkovChain mobility_heavy_chain() {
+  MarkovChain c;
+  c.set_row(ProcState::kAttach, 0.02, 0.38, 0.10, 0.35, 0.15);
+  c.set_row(ProcState::kServiceRequest, 0.02, 0.28, 0.12, 0.38, 0.20);
+  c.set_row(ProcState::kHandover, 0.02, 0.26, 0.14, 0.40, 0.18);
+  c.set_row(ProcState::kIntraHandover, 0.02, 0.26, 0.12, 0.42, 0.18);
+  c.set_row(ProcState::kTau, 0.02, 0.30, 0.10, 0.36, 0.22);
+  return c;
+}
+
+inline MarkovChain iot_chain() {
+  // Wake, (re-)register if needed, push the report, update location.
+  MarkovChain c;
+  c.set_row(ProcState::kAttach, 0.10, 0.78, 0.00, 0.02, 0.10);
+  c.set_row(ProcState::kServiceRequest, 0.14, 0.70, 0.00, 0.02, 0.14);
+  c.set_row(ProcState::kHandover, 0.10, 0.78, 0.00, 0.02, 0.10);
+  c.set_row(ProcState::kIntraHandover, 0.10, 0.78, 0.00, 0.02, 0.10);
+  c.set_row(ProcState::kTau, 0.12, 0.74, 0.00, 0.02, 0.12);
+  return c;
+}
+
+inline MarkovChain reconnect_chain() {
+  // Post-blackout: register, then resume normal smartphone behaviour
+  // with an elevated re-attach fraction (flapping power/coverage).
+  MarkovChain c;
+  c.set_row(ProcState::kAttach, 0.12, 0.60, 0.03, 0.12, 0.13);
+  c.set_row(ProcState::kServiceRequest, 0.08, 0.54, 0.05, 0.18, 0.15);
+  c.set_row(ProcState::kHandover, 0.08, 0.56, 0.05, 0.16, 0.15);
+  c.set_row(ProcState::kIntraHandover, 0.08, 0.56, 0.05, 0.16, 0.15);
+  c.set_row(ProcState::kTau, 0.10, 0.58, 0.04, 0.14, 0.14);
+  return c;
+}
+
+inline GeneratedTraffic legacy_uniform(const ScenarioRequest& req) {
+  trace::ProcedureMix mix;
+  mix.service_request = 0.5;
+  mix.intra_handover = 0.1;  // attach gets the remaining 0.4
+  trace::UniformWorkload workload(req.target_pps, req.duration, mix,
+                                  req.seed);
+  GeneratedTraffic out;
+  out.records = workload.generate(req.population, req.regions);
+  trace::sort_records(out.records);
+  ClassArrivals acct;
+  acct.name = "uniform";
+  acct.ue_base = 0;
+  acct.ue_count = req.population;
+  acct.count = out.records.size();
+  out.per_class.push_back(std::move(acct));
+  return out;
+}
+
+inline GeneratedTraffic legacy_bursty(const ScenarioRequest& req) {
+  const auto wanted = static_cast<std::uint64_t>(
+      req.target_pps * req.duration.sec() + 0.5);
+  const std::uint64_t n_users =
+      std::max<std::uint64_t>(1, std::min(req.population, wanted));
+  trace::BurstyWorkload workload(n_users, req.duration, req.seed);
+  GeneratedTraffic out;
+  out.records = workload.generate();
+  trace::sort_records(out.records);
+  ClassArrivals acct;
+  acct.name = "bursty-attach";
+  acct.ue_base = 0;
+  acct.ue_count = n_users;
+  acct.count = out.records.size();
+  out.per_class.push_back(std::move(acct));
+  return out;
+}
+
+inline EngineConfig base_engine(const ScenarioRequest& req) {
+  EngineConfig cfg;
+  cfg.target_pps = req.target_pps;
+  cfg.duration = req.duration;
+  cfg.population = req.population;
+  cfg.regions = req.regions;
+  cfg.allow_inter_region = req.allow_inter_region;
+  cfg.seed = req.seed;
+  cfg.classes.clear();
+  return cfg;
+}
+
+inline GeneratedTraffic commuter_morning(const ScenarioRequest& req) {
+  EngineConfig cfg = base_engine(req);
+  cfg.envelope.points = {{0.0, 0.3}, {0.7, 1.7}, {1.0, 1.5}};
+  DeviceClassConfig phones;
+  phones.name = "smartphone";
+  phones.think.sigma = 1.2;
+  phones.chain = smartphone_chain();
+  phones.initial = ProcState::kServiceRequest;  // population preattached
+  cfg.classes.push_back(std::move(phones));
+  return generate(cfg);
+}
+
+inline GeneratedTraffic stadium_egress(const ScenarioRequest& req) {
+  EngineConfig cfg = base_engine(req);
+  cfg.envelope.points = {
+      {0.0, 0.5}, {0.55, 0.5}, {0.62, 3.0}, {0.78, 1.2}, {1.0, 0.5}};
+  DeviceClassConfig crowd;
+  crowd.name = "smartphone";
+  crowd.think.sigma = 1.0;
+  crowd.chain = mobility_heavy_chain();
+  crowd.initial = ProcState::kServiceRequest;
+  cfg.classes.push_back(std::move(crowd));
+  return generate(cfg);
+}
+
+inline GeneratedTraffic iot_firmware_push(const ScenarioRequest& req) {
+  EngineConfig cfg = base_engine(req);
+  cfg.envelope.points = {
+      {0.0, 0.8}, {0.45, 0.8}, {0.5, 2.6}, {0.65, 0.9}, {1.0, 0.8}};
+  DeviceClassConfig phones;
+  phones.name = "smartphone";
+  phones.population_share = 0.2;
+  phones.rate_share = 0.35;
+  phones.think.sigma = 1.2;
+  phones.chain = smartphone_chain();
+  phones.initial = ProcState::kServiceRequest;
+  cfg.classes.push_back(std::move(phones));
+  DeviceClassConfig iot;
+  iot.name = "massive-iot";
+  iot.population_share = 0.8;
+  iot.rate_share = 0.65;
+  iot.think.sigma = 0.6;          // metronomic reporters...
+  iot.think.tail_weight = 0.02;   // ...with rare long sleeps
+  iot.chain = iot_chain();
+  iot.initial = ProcState::kServiceRequest;
+  // Eight synchronized wakeup slots over the run: every IoT arrival
+  // snaps to the class-wide grid, so the spikes are visible in any
+  // windowed arrival series wider than one slot.
+  iot.duty_period = SimTime::nanoseconds(req.duration.ns() / 8);
+  iot.duty_phase = SimTime::nanoseconds(req.duration.ns() / 16);
+  cfg.classes.push_back(std::move(iot));
+  return generate(cfg);
+}
+
+inline GeneratedTraffic region_blackout_reconnect(const ScenarioRequest& req) {
+  EngineConfig cfg = base_engine(req);
+  // Zero arrivals for the first 35% (the outage), then the backlog of
+  // device activity re-emerges over a short ramp and decays to normal.
+  cfg.envelope.points = {
+      {0.0, 0.0}, {0.35, 0.0}, {0.40, 4.0}, {0.60, 1.3}, {1.0, 0.8}};
+  DeviceClassConfig devices;
+  devices.name = "reconnecting";
+  devices.think.sigma = 1.0;
+  devices.chain = reconnect_chain();
+  devices.initial = ProcState::kAttach;  // cold population: register first
+  cfg.classes.push_back(std::move(devices));
+  return generate(cfg);
+}
+
+}  // namespace detail
+
+/// Generate a named scenario; std::nullopt for an unknown name (callers
+/// should then report unknown_scenario_error(name) and fail hard).
+inline std::optional<GeneratedTraffic> generate_scenario(
+    std::string_view name, const ScenarioRequest& req) {
+  if (name == "legacy-uniform") return detail::legacy_uniform(req);
+  if (name == "legacy-bursty") return detail::legacy_bursty(req);
+  if (name == "commuter-morning") return detail::commuter_morning(req);
+  if (name == "stadium-egress") return detail::stadium_egress(req);
+  if (name == "iot-firmware-push") return detail::iot_firmware_push(req);
+  if (name == "region-blackout-reconnect") {
+    return detail::region_blackout_reconnect(req);
+  }
+  return std::nullopt;
+}
+
+}  // namespace neutrino::traffic

@@ -40,6 +40,31 @@ TEST(UniformWorkload, MixFractionsRespected) {
   EXPECT_NEAR(static_cast<double>(attach) / n, 0.1, 0.03);
 }
 
+TEST(UniformWorkload, SingleRegionRenormalizesHandoverIntoIntra) {
+  // Mix contract (workload.hpp): on a single-region topology the
+  // inter-region handover mass folds into intra-handover — it must not
+  // fall through to attach, and attach keeps exactly its configured
+  // remainder (0.2 here).
+  ProcedureMix mix{.service_request = 0.5, .handover = 0.2,
+                   .intra_handover = 0.1};
+  UniformWorkload w(20'000.0, SimTime::seconds(1), mix, 5);
+  const auto t = w.generate(1'000'000, 1);
+  std::size_t sr = 0, ho = 0, intra = 0, attach = 0;
+  for (const auto& rec : t) {
+    switch (rec.type) {
+      case core::ProcedureType::kServiceRequest: ++sr; break;
+      case core::ProcedureType::kHandover: ++ho; break;
+      case core::ProcedureType::kIntraHandover: ++intra; break;
+      default: ++attach; break;
+    }
+  }
+  EXPECT_EQ(ho, 0u);
+  const auto n = static_cast<double>(t.size());
+  EXPECT_NEAR(static_cast<double>(sr) / n, 0.5, 0.03);
+  EXPECT_NEAR(static_cast<double>(intra) / n, 0.3, 0.03);
+  EXPECT_NEAR(static_cast<double>(attach) / n, 0.2, 0.03);
+}
+
 TEST(UniformWorkload, HandoverTargetsDifferFromHome) {
   ProcedureMix mix{.handover = 1.0};
   UniformWorkload w(5'000.0, SimTime::seconds(1), mix, 9);
