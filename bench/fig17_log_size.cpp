@@ -40,10 +40,7 @@ LogSizeRun peak_log_bytes(const core::CorePolicy& policy,
             : 0;
     t.push_back(rec);
   }
-  std::sort(t.begin(), t.end(),
-            [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
-              return a.at < b.at;
-            });
+  trace::sort_records(t);
 
   std::size_t peak = 0;
   auto result = bench::run_experiment(

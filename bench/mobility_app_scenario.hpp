@@ -34,10 +34,10 @@ inline void run_mobility_app_scenario(Report& report, const char* figure,
                                         mix, /*seed=*/42);
       auto t = background.generate(users, cfg.topo.total_regions());
 
-      std::sort(t.begin(), t.end(),
-                [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
-                  return a.at < b.at;
-                });
+      // (at, ue, type) total order: a non-stable sort keyed on `at` alone
+      // leaves equal-timestamp records in unspecified order, breaking the
+      // bitwise-determinism contract.
+      trace::sort_records(t);
 
       // The observed vehicle/headset: UE id `users`. The paper's 5-minute
       // 60 mph drive (Fig. 12) is time-compressed into the simulated

@@ -95,9 +95,7 @@ int main(int argc, char** argv) {
       t.push_back(rec);
     }
     std::sort(t.begin() + static_cast<std::ptrdiff_t>(n_attach), t.end(),
-              [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
-                return a.at < b.at;
-              });
+              trace::record_before);
   }
 
   obs::RssMeter rss_meter;

@@ -257,6 +257,20 @@ build-release/bench/chaos_campaign --smoke --seeds=10 \
   --repro-dir=build-release/bench --report="$out" >/dev/null
 python3 scripts/validate_report.py "$out"
 
+# City-scale mobility (DESIGN.md §18): the commuter-crossing handover
+# sweep with CPF crash windows colliding with the commute wave, plus the
+# edge-pingpong oscillator run. fig_mobility exits non-zero itself when
+# any acceptance gate misses (zero RYW under mobility+chaos, slow-path
+# coverage, the corrected closed-form crossing rate within tolerance,
+# bit-identical outcomes across worker-thread counts); the validator then
+# re-checks the report's v5 surface independently of the bench's own gate.
+echo "== mobility (build-release)"
+cmake --build build-release -j --target fig_mobility
+out=build-release/bench/fig_mobility.smoke-report.json
+build-release/bench/fig_mobility --smoke --report="$out" >/dev/null
+python3 scripts/validate_report.py "$out"
+python3 scripts/summarize_bench.py "$out"
+
 # Release chaos campaign: 50 seeds across legacy / 1-shard / multi-shard
 # runtimes; any invariant violation shrinks to a replayable reproducer and
 # fails the gate.

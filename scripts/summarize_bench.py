@@ -254,6 +254,49 @@ def scenario_table(doc):
                   f"peak {max(vals)})")
 
 
+def mobility_table(doc):
+    """fig_mobility: the closed-form rate validation, then handover PCT
+    tails and fast/slow path split per worker-thread count (schema v5)."""
+    mob = doc.get("config", {}).get("mobility", {})
+    if mob:
+        kappa = mob.get("block_correction", 0)
+        print(f"  moving UEs {mob.get('moving_ues', '?')}, "
+              f"crossings {mob.get('crossings', '?')}, "
+              f"kappa={kappa:.4f}, worst rate deviation "
+              f"{mob.get('worst_rate_deviation', 0):.4f} "
+              f"(tolerance {mob.get('rate_tolerance', 0):g})")
+        for c in mob.get("classes", []):
+            mark = "  [validated]" if c.get("validate") else ""
+            print(f"    {c.get('name', '?'):<16} "
+                  f"ues={c.get('ues', 0):<8} "
+                  f"crossings={c.get('crossings', 0):<8} "
+                  f"measured={c.get('measured_rate_hz', 0):.6f}Hz "
+                  f"predicted={c.get('predicted_rate_hz', 0) * kappa:.6f}Hz"
+                  f"{mark}")
+    print(f"\n  {'system':>18} {'threads':>8} {'n':>8} {'p50ms':>8} "
+          f"{'p95ms':>8} {'p99ms':>8} {'fast':>8} {'fetch':>8} "
+          f"{'pingpong':>9} {'ryw':>5}")
+    for r in doc.get("rows", []):
+        pct = r.get("handover_pct_ms", {})
+        counters = r.get("counters", {})
+        pingpong = r.get("pingpong_pairs", "-")
+        print(f"  {r.get('system', '?'):>18} {r.get('threads', 0):>8} "
+              f"{pct.get('n', 0):>8} {pct.get('p50', 0):>8.3f} "
+              f"{pct.get('p95', 0):>8.3f} {pct.get('p99', 0):>8.3f} "
+              f"{counters.get('core.fast_handovers', 0):>8} "
+              f"{counters.get('core.state_fetches', 0):>8} "
+              f"{pingpong:>9} "
+              f"{counters.get('core.ryw_violations', 0):>5}")
+    rows = doc.get("rows", [])
+    series = rows[0].get("arrival_series", {}) if rows else {}
+    vals = [p[1] for p in series.get("points", [])
+            if isinstance(p, list) and len(p) == 2]
+    if vals:
+        print(f"  arrivals {sparkline(vals)}  "
+              f"(window {series.get('window_ms', 0):g} ms, "
+              f"peak {max(vals)})")
+
+
 def summarize_tsv(path):
     rows = parse(path)
     for fig in sorted(rows):
@@ -305,6 +348,12 @@ def main():
                 print(f"\n== fig_scenarios: per-scenario saturation "
                       f"({path}) ==")
                 scenario_table(doc)
+                timeseries_view(doc)
+                continue
+            if doc.get("figure") == "fig_mobility":
+                print(f"\n== fig_mobility: handover tails under mobility "
+                      f"({path}) ==")
+                mobility_table(doc)
                 timeseries_view(doc)
                 continue
             print(f"\n== {doc.get('figure', path)}: sharded-runtime "

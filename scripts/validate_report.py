@@ -52,6 +52,16 @@ neutrino.bench-report:
     names a scenario from that list with offered_pps/knee_pps > 0, a
     completion_rate in [0,1] and a pct_ms summary; each scenario's
     x=1.0 (knee) row shows zero RYW violations and >= 99% completion.
+  * figure "fig_mobility" additionally (schema v5, DESIGN.md §18): a
+    config "mobility" object with grid geometry (positive pitch,
+    hysteresis, ping-pong window, expected leg), a block correction in
+    (0, 1], non-negative crossing/ping-pong counters, a per-class list
+    (non-negative measured/predicted rates, bool validate) and, when any
+    class validates, worst_rate_deviation within rate_tolerance; every
+    row carries a handover_pct_ms summary and zero RYW violations; all
+    commuter-crossing rows (one per worker-thread count) are bit-identical
+    in events, counters and handover PCT; edge-pingpong rows carry
+    positive pingpong_pairs and non-negative suppressed_excursions.
 
 Chrome/Perfetto trace-event JSON (a document with "traceEvents" and no
 "schema" key, as written by --trace-out=):
@@ -499,6 +509,93 @@ def check_scenarios_figure(path, doc, errors):
             errors.append(f"{path}: scenario {name} has no x=1.0 (knee) row")
 
 
+def check_mobility_figure(path, doc, errors):
+    """fig_mobility (schema v5): the mobility config block, the closed-form
+    rate gate, zero RYW, and cross-thread bit-identity of the chaos runs."""
+    config = doc.get("config", {})
+    mob = config.get("mobility")
+    if not isinstance(mob, dict):
+        errors.append(f"{path}: config.mobility = {mob!r}, want object")
+        return
+    where = "config.mobility"
+    for k in ("moving_ues", "crossings", "pingpong_pairs",
+              "suppressed_excursions"):
+        if not nonneg_int(mob.get(k)):
+            errors.append(f"{path}: {where}: {k} = {mob.get(k)!r}")
+    for k in ("cell_pitch_m", "hysteresis_m", "pingpong_window_s",
+              "expected_leg_m", "rate_tolerance"):
+        v = mob.get(k)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v <= 0:
+            errors.append(f"{path}: {where}: {k} = {v!r}")
+    kappa = mob.get("block_correction")
+    if not isinstance(kappa, (int, float)) or isinstance(kappa, bool) or \
+            not 0.0 < kappa <= 1.0:
+        errors.append(f"{path}: {where}: block_correction = {kappa!r}, "
+                      f"want a finite-block factor in (0, 1]")
+    dev = mob.get("worst_rate_deviation")
+    if not isinstance(dev, (int, float)) or isinstance(dev, bool) or dev < 0:
+        errors.append(f"{path}: {where}: worst_rate_deviation = {dev!r}")
+    if not isinstance(mob.get("rate_validated"), bool):
+        errors.append(f"{path}: {where}: rate_validated = "
+                      f"{mob.get('rate_validated')!r}, want bool")
+    classes = mob.get("classes")
+    if not isinstance(classes, list) or not classes:
+        errors.append(f"{path}: {where}: classes = {classes!r}")
+    else:
+        for i, c in enumerate(classes):
+            w = f"{where}.classes[{i}]"
+            if not isinstance(c.get("name"), str) or not c["name"]:
+                errors.append(f"{path}: {w}: name = {c.get('name')!r}")
+            for k in ("ues", "crossings"):
+                if not nonneg_int(c.get(k)):
+                    errors.append(f"{path}: {w}: {k} = {c.get(k)!r}")
+            for k in ("measured_rate_hz", "predicted_rate_hz", "mean_leg_m"):
+                v = c.get(k)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                        or v < 0:
+                    errors.append(f"{path}: {w}: {k} = {v!r}")
+            if not isinstance(c.get("validate"), bool):
+                errors.append(f"{path}: {w}: validate = "
+                              f"{c.get('validate')!r}, want bool")
+    if mob.get("rate_validated") is True and \
+            isinstance(dev, (int, float)) and \
+            isinstance(mob.get("rate_tolerance"), (int, float)) and \
+            dev > mob["rate_tolerance"]:
+        errors.append(f"{path}: {where}: worst_rate_deviation {dev!r} "
+                      f"exceeds rate_tolerance {mob['rate_tolerance']!r}")
+    sweep = []
+    for i, row in enumerate(doc.get("rows", [])):
+        where = f"rows[{i}]"
+        if "handover_pct_ms" not in row:
+            errors.append(f"{path}: {where}: missing handover_pct_ms")
+        if row.get("counters", {}).get("core.ryw_violations", 0) != 0:
+            errors.append(f"{path}: {where}: RYW violations under "
+                          f"mobility+chaos")
+        if row.get("system") == "commuter-crossing":
+            sweep.append((i, row))
+        elif row.get("system") == "edge-pingpong":
+            pairs = row.get("pingpong_pairs")
+            if not nonneg_int(pairs) or pairs == 0:
+                errors.append(f"{path}: {where}: pingpong_pairs = {pairs!r}")
+            if not nonneg_int(row.get("suppressed_excursions")):
+                errors.append(f"{path}: {where}: suppressed_excursions = "
+                              f"{row.get('suppressed_excursions')!r}")
+    if len(sweep) < 2:
+        errors.append(f"{path}: fewer than two commuter-crossing rows — "
+                      f"no cross-thread determinism evidence")
+        return
+    ref_i, ref = sweep[0]
+    for i, row in sweep[1:]:
+        for key in ("counters", "events_executed", "handover_pct_ms",
+                    "windows"):
+            if row.get(key) != ref.get(key):
+                errors.append(
+                    f"{path}: rows[{i}].{key} (threads="
+                    f"{row.get('threads')!r}) differs from rows[{ref_i}] "
+                    f"(threads={ref.get('threads')!r}) — thread sweep not "
+                    f"bit-identical")
+
+
 def check_saturation(path, doc, errors):
     config = doc.get("config", {})
     if not isinstance(config.get("knee_pps"), (int, float)) or \
@@ -647,6 +744,8 @@ def validate(path):
         check_saturation(path, doc, errors)
     if doc.get("figure") == "fig_scenarios":
         check_scenarios_figure(path, doc, errors)
+    if doc.get("figure") == "fig_mobility":
+        check_mobility_figure(path, doc, errors)
     return errors, decomposed
 
 

@@ -69,6 +69,11 @@ struct RunOutcome {
   std::uint64_t overload_drops = 0;
   std::uint64_t nas_retransmissions = 0;
   std::uint64_t retx_exhausted = 0;
+  /// FastHandover path split (§4.3): arrivals served from the local
+  /// replica vs arrivals that had to park in pending_handover_ and fetch
+  /// state (the slow path the crash-collision regressions aim at).
+  std::uint64_t fast_handovers = 0;
+  std::uint64_t state_fetches = 0;
   /// Fig. 5 recovery-outcome histogram: scenario label → count
   /// ("failover" / "replay" / "reattach" / "hole").
   std::map<std::string, std::uint64_t> recoveries;
@@ -170,6 +175,8 @@ inline void harvest(const core::Metrics& metrics, RunOutcome& out) {
   out.started += metrics.procedures_started;
   out.completed += metrics.procedures_completed;
   out.ryw_metric += metrics.ryw_violations;
+  out.fast_handovers += metrics.fast_handovers;
+  out.state_fetches += metrics.state_fetches;
   out.attach_sheds += metrics.attach_sheds;
   out.overload_drops += metrics.overload_drops;
   out.nas_retransmissions += metrics.nas_retransmissions;

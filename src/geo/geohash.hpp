@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cassert>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace neutrino::geo {
 
@@ -85,6 +87,43 @@ inline GeoCell geohash_decode(std::string_view hash) {
 inline std::string_view parent_region(std::string_view hash) {
   assert(!hash.empty());
   return hash.substr(0, hash.size() - 1);
+}
+
+/// The same-precision cell `dlat` cell-pitches north and `dlon` pitches
+/// east of `hash`, or nullopt past the world bounds (a bounded service
+/// area: no pole or antimeridian wraparound). Every cell boundary at a
+/// given precision is a dyadic fraction of the world box, so stepping the
+/// decoded center by whole pitches is exact in double arithmetic and the
+/// re-encode cannot land on the wrong side of a bisection line.
+inline std::optional<std::string> geohash_neighbor(std::string_view hash,
+                                                   int dlat, int dlon) {
+  assert(!hash.empty());
+  const GeoCell cell = geohash_decode(hash);
+  LatLon p = cell.center();
+  p.lat += static_cast<double>(dlat) * (cell.lat_hi - cell.lat_lo);
+  p.lon += static_cast<double>(dlon) * (cell.lon_hi - cell.lon_lo);
+  if (p.lat <= -90.0 || p.lat >= 90.0 || p.lon < -180.0 || p.lon >= 180.0) {
+    return std::nullopt;
+  }
+  return geohash_encode(p, static_cast<int>(hash.size()));
+}
+
+/// The level-1 ring around a cell: its (up to 8) same-precision neighbors.
+/// Interior cells get 8, world-edge cells 5, world-corner cells 3 — and
+/// membership is symmetric (b in ring(a) iff a in ring(b)), which is the
+/// premise FastHandover's "state is already replicated nearby" rests on.
+inline std::vector<std::string> neighbor_ring(std::string_view hash) {
+  std::vector<std::string> out;
+  out.reserve(8);
+  for (int dlat = -1; dlat <= 1; ++dlat) {
+    for (int dlon = -1; dlon <= 1; ++dlon) {
+      if (dlat == 0 && dlon == 0) continue;
+      if (auto n = geohash_neighbor(hash, dlat, dlon)) {
+        out.push_back(std::move(*n));
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace neutrino::geo

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <algorithm>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.hpp"
@@ -73,6 +75,36 @@ class RegionPlan {
         std::find_if(regions_.begin(), regions_.end(),
                      [&](const PlannedRegion& r) { return r.geohash == hash; });
     return it == regions_.end() ? nullptr : &*it;
+  }
+
+  [[nodiscard]] int l1_precision() const { return l1_precision_; }
+
+  /// Index of a level-1 geohash in the plan. regions_ is sorted by hash
+  /// (from_area sorts before assigning indices), so this is a binary
+  /// search, not a scan.
+  [[nodiscard]] std::optional<std::uint32_t> index_of(
+      std::string_view hash) const {
+    const auto it = std::lower_bound(
+        regions_.begin(), regions_.end(), hash,
+        [](const PlannedRegion& r, std::string_view h) {
+          return std::string_view{r.geohash} < h;
+        });
+    if (it == regions_.end() || it->geohash != hash) return std::nullopt;
+    return it->region_index;
+  }
+
+  /// The in-plan members of a region's level-1 ring (§4.3): the adjacent
+  /// level-1 cells this plan actually deploys. Plan-edge regions simply
+  /// have smaller rings; membership stays symmetric because adjacency is.
+  [[nodiscard]] std::vector<std::uint32_t> ring_neighbors(
+      std::uint32_t region_index) const {
+    std::vector<std::uint32_t> out;
+    for (const std::string& hash :
+         neighbor_ring(regions_[region_index].geohash)) {
+      if (const auto idx = index_of(hash)) out.push_back(*idx);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
   /// Regions sharing a level-2 parent with `region` (its replication

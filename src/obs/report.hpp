@@ -28,7 +28,13 @@ inline constexpr std::string_view kBenchReportSchema = "neutrino.bench-report";
 //       scenario-driven rows carry "scenario", an "arrivals" section
 //       (total + per-class counts summing to it) and an "arrival_series"
 //       (windowed offered-arrival counts summing to the total).
-inline constexpr int kBenchReportVersion = 4;
+//   5 — mobility (DESIGN.md §18): fig_mobility echoes a config "mobility"
+//       object (grid geometry, ping-pong accounting, and per-class
+//       crossing-rate validation against the corrected (4/pi)v/L closed
+//       form with its tolerance); its rows carry "handover_pct_ms"
+//       summaries, and edge-pingpong rows add pingpong_pairs /
+//       suppressed_excursions.
+inline constexpr int kBenchReportVersion = 5;
 
 /// count/mean/p50/p90/p99/p999/max of a recorder, as a JSON object.
 inline Json summary_json(const LatencyRecorder& r) {

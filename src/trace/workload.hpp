@@ -151,10 +151,10 @@ class BurstyWorkload {
       rec.type = core::ProcedureType::kAttach;
       out.push_back(rec);
     }
-    std::sort(out.begin(), out.end(),
-              [](const TraceRecord& a, const TraceRecord& b) {
-                return a.at < b.at;
-              });
+    // Total (at, ue, type) order, not a bare non-stable sort on `at`:
+    // equal-timestamp records must land in a deterministic order for the
+    // bitwise-determinism contract to hold.
+    sort_records(out);
     return out;
   }
 
@@ -200,10 +200,7 @@ class DeviceModelWorkload {
         t += dev_rng.next_exponential(kMeanSessionGapSec);
       }
     }
-    std::sort(out.begin(), out.end(),
-              [](const TraceRecord& a, const TraceRecord& b) {
-                return a.at < b.at;
-              });
+    sort_records(out);
     return out;
   }
 

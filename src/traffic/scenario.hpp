@@ -19,6 +19,15 @@
 //                             wave, 20% smartphones
 //   region-blackout-reconnect power cut (zero arrivals), then the whole
 //                             population re-registers in a decaying wave
+//   commuter-crossing         commute wave of moving UEs whose boundary
+//                             crossings emit inter-region handovers
+//                             (mobility engine, DESIGN.md §18)
+//   edge-pingpong             UEs oscillating across cell edges under
+//                             handover hysteresis (ping-pong pairs)
+//
+// Any of the six stationary scenarios also takes a mobility overlay
+// (ScenarioRequest::mobility_overlay): a 20%-moving slice of the
+// population rides on top of the base arrival stream.
 //
 // An unknown name is a hard error: benches print unknown_scenario_error()
 // (which lists every valid name) and exit non-zero, rather than silently
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "traffic/engine.hpp"
+#include "traffic/mobility.hpp"
 
 namespace neutrino::traffic {
 
@@ -42,6 +52,14 @@ struct ScenarioRequest {
   int regions = 1;
   bool allow_inter_region = false;
   std::uint64_t seed = 1;
+  /// Shard count the replay will run under: mobility trajectories are
+  /// confined to their home shard's region block so every emitted
+  /// handover target stays shard-legal (DESIGN.md §18).
+  std::uint32_t shard_blocks = 1;
+  /// Ride a mobility stream (20% of the population moving, 10% of those
+  /// edge oscillators) on top of any named scenario. Requires a 4^k-region
+  /// grid (k >= 1); other topologies keep the base scenario unchanged.
+  bool mobility_overlay = false;
 };
 
 struct ScenarioInfo {
@@ -66,6 +84,14 @@ inline const std::vector<ScenarioInfo>& scenarios() {
        "duty-cycled IoT wakeup slots + a firmware-push wave", true},
       {"region-blackout-reconnect",
        "power cut, then a synchronized re-registration wave", false},
+      {"commuter-crossing",
+       "commute wave of moving UEs crossing region boundaries "
+       "(inter-region FastHandover; needs a 4^k-region grid)",
+       true},
+      {"edge-pingpong",
+       "UEs oscillating across cell edges: ping-pong handovers under "
+       "hysteresis (needs a 4^k-region grid)",
+       true},
   };
   return kScenarios;
 }
@@ -255,21 +281,121 @@ inline GeneratedTraffic region_blackout_reconnect(const ScenarioRequest& req) {
   return generate(cfg);
 }
 
+/// Mobility preset shared by the mobility scenarios and the overlay. The
+/// grid only engages when the request's region count is an exact 4^k
+/// (k >= 1) — a trajectory's home cell must be the preattach home
+/// (ue % regions), so a partial grid would desynchronize the two.
+inline MobilityConfig scenario_mobility(const ScenarioRequest& req) {
+  MobilityConfig m;
+  m.seed = req.seed;
+  m.regions = req.regions > 0 ? static_cast<std::uint32_t>(req.regions) : 0;
+  m.shard_blocks = req.shard_blocks;
+  m.population = req.population;
+  m.duration = req.duration;
+  return m;
+}
+
+/// Generate the mobility stream for `m`, record its accounting, and merge
+/// it into `base` under the (at, ue, type) total order.
+inline GeneratedTraffic merge_mobility(GeneratedTraffic base,
+                                       const MobilityConfig& m,
+                                       MobilityStats* stats) {
+  MobilityTraffic mob = generate_mobility(m);
+  if (stats) *stats = mob.stats;
+  if (mob.records.empty()) return base;
+  ClassArrivals acct;
+  acct.name = "mobility";
+  acct.ue_base = 0;
+  acct.ue_count = mob.stats.moving_ues;
+  acct.count = mob.records.size();
+  base.per_class.push_back(std::move(acct));
+  std::vector<std::vector<trace::TraceRecord>> streams;
+  streams.push_back(std::move(base.records));
+  streams.push_back(std::move(mob.records));
+  base.records = trace::merge_sorted_records(std::move(streams));
+  return base;
+}
+
+inline GeneratedTraffic commuter_crossing(const ScenarioRequest& req,
+                                          MobilityStats* stats) {
+  // Background: smartphone chatter through the same AM ramp the commute
+  // wave rides. Inter-region handovers come from *movement* only, so the
+  // engine keeps its dice away from kHandover.
+  EngineConfig cfg = base_engine(req);
+  cfg.allow_inter_region = false;
+  cfg.envelope.points = {{0.0, 0.6}, {0.25, 1.6}, {0.6, 1.1}, {1.0, 0.9}};
+  DeviceClassConfig phones;
+  phones.name = "smartphone";
+  phones.think.sigma = 1.2;
+  phones.chain = smartphone_chain();
+  phones.initial = ProcState::kServiceRequest;
+  cfg.classes.push_back(std::move(phones));
+  GeneratedTraffic out = generate(cfg);
+
+  MobilityConfig m = scenario_mobility(req);
+  m.oscillator_fraction = 0.0;  // pure commute flows
+  m.wave_center_frac = 0.25;
+  m.wave_sigma_frac = 0.10;
+  return merge_mobility(std::move(out), m, stats);
+}
+
+inline GeneratedTraffic edge_pingpong(const ScenarioRequest& req,
+                                      MobilityStats* stats) {
+  // Light flat background; the story is the oscillator population working
+  // the hysteresis band at cell edges.
+  EngineConfig cfg = base_engine(req);
+  cfg.allow_inter_region = false;
+  DeviceClassConfig phones;
+  phones.name = "smartphone";
+  phones.think.sigma = 1.0;
+  phones.chain = smartphone_chain();
+  phones.initial = ProcState::kServiceRequest;
+  cfg.classes.push_back(std::move(phones));
+  GeneratedTraffic out = generate(cfg);
+
+  MobilityConfig m = scenario_mobility(req);
+  m.oscillator_fraction = 1.0;
+  return merge_mobility(std::move(out), m, stats);
+}
+
 }  // namespace detail
 
 /// Generate a named scenario; std::nullopt for an unknown name (callers
-/// should then report unknown_scenario_error(name) and fail hard).
+/// should then report unknown_scenario_error(name) and fail hard). When
+/// `mobility` is non-null it receives the mobility-stream accounting
+/// (zeroed when the scenario has no mobility component).
 inline std::optional<GeneratedTraffic> generate_scenario(
-    std::string_view name, const ScenarioRequest& req) {
-  if (name == "legacy-uniform") return detail::legacy_uniform(req);
-  if (name == "legacy-bursty") return detail::legacy_bursty(req);
-  if (name == "commuter-morning") return detail::commuter_morning(req);
-  if (name == "stadium-egress") return detail::stadium_egress(req);
-  if (name == "iot-firmware-push") return detail::iot_firmware_push(req);
-  if (name == "region-blackout-reconnect") {
-    return detail::region_blackout_reconnect(req);
+    std::string_view name, const ScenarioRequest& req,
+    MobilityStats* mobility = nullptr) {
+  if (mobility) *mobility = MobilityStats{};
+  if (name == "commuter-crossing") {
+    return detail::commuter_crossing(req, mobility);
   }
-  return std::nullopt;
+  if (name == "edge-pingpong") return detail::edge_pingpong(req, mobility);
+
+  std::optional<GeneratedTraffic> out;
+  if (name == "legacy-uniform") {
+    out = detail::legacy_uniform(req);
+  } else if (name == "legacy-bursty") {
+    out = detail::legacy_bursty(req);
+  } else if (name == "commuter-morning") {
+    out = detail::commuter_morning(req);
+  } else if (name == "stadium-egress") {
+    out = detail::stadium_egress(req);
+  } else if (name == "iot-firmware-push") {
+    out = detail::iot_firmware_push(req);
+  } else if (name == "region-blackout-reconnect") {
+    out = detail::region_blackout_reconnect(req);
+  } else {
+    return std::nullopt;
+  }
+  if (req.mobility_overlay) {
+    MobilityConfig m = detail::scenario_mobility(req);
+    m.moving_fraction = 0.2;
+    m.oscillator_fraction = 0.1;
+    *out = detail::merge_mobility(std::move(*out), m, mobility);
+  }
+  return out;
 }
 
 }  // namespace neutrino::traffic

@@ -89,11 +89,15 @@ RunOutcome run_everywhere(const Schedule& s) {
   EXPECT_EQ(t1.completed, t2.completed);
   EXPECT_EQ(t1.lost, t2.lost);
   EXPECT_EQ(t1.recoveries, t2.recoveries);
+  EXPECT_EQ(t1.fast_handovers, t2.fast_handovers);
+  EXPECT_EQ(t1.state_fetches, t2.state_fetches);
 
   // 2-shard partitioning must not change what happened, only where.
   EXPECT_EQ(lo.started, t1.started);
   EXPECT_EQ(lo.completed, t1.completed);
   EXPECT_EQ(lo.recoveries, t1.recoveries);
+  EXPECT_EQ(lo.fast_handovers, t1.fast_handovers);
+  EXPECT_EQ(lo.state_fetches, t1.state_fetches);
   return lo;
 }
 
@@ -157,6 +161,80 @@ TEST(ChaosScenarios, CtaCrashReroutes) {
   const RunOutcome out = run_everywhere(s);
   EXPECT_GE(out.completed, 1u);
   EXPECT_EQ(out.lost, 0u);
+}
+
+// --- pending_handover_ (§4.3 slow path) across crash windows ----------------
+// A FastHandover arrival whose target replica is stale parks in the CPF's
+// pending_handover_ map while a StateFetch runs (§4.2.4 rule 3). These
+// regressions collide crash windows with that park/fetch window and pin
+// the accounting: a leaked park leaves the UE mid-procedure forever
+// (lost > 0 at the horizon); a stale unpark after a crash (the epoch
+// guard on the fetch-timeout timer) would serve from dead state.
+
+Event restore_event(SimTime at, CpfId cpf) {
+  Event e;
+  e.at = at;
+  e.kind = EventKind::kRestoreCpf;
+  e.cpf = cpf.value();
+  return e;
+}
+
+/// Crash the target-region primary before the UE's service request (so it
+/// misses the checkpoint), restore it empty, then hand the UE over to it:
+/// the arrival cannot match the context and must park + fetch.
+Schedule stale_target_handover() {
+  Schedule s = base_schedule();
+  const CpfId target = oracle().primary_cpf_for(UeId{0}, 1);
+  s.events.push_back(crash_event(SimTime::milliseconds(5), target));
+  s.events.push_back(proc_event(SimTime::milliseconds(10), 0,
+                                core::ProcedureType::kServiceRequest));
+  s.events.push_back(restore_event(SimTime::milliseconds(100), target));
+  s.events.push_back(proc_event(SimTime::milliseconds(200), 0,
+                                core::ProcedureType::kHandover, 1));
+  return s;
+}
+
+TEST(ChaosPendingHandover, StaleTargetParksThenFetchCompletes) {
+  const RunOutcome out = run_everywhere(stale_target_handover());
+  EXPECT_GT(out.state_fetches, 0u) << "handover never took the slow path";
+  EXPECT_GE(out.completed, 2u);  // the service request and the handover
+  EXPECT_EQ(out.lost, 0u);
+}
+
+// Every CPF the parked fetch could be waiting on dies inside the window
+// (swept across offsets to hit in-flight-fetch and parked interleavings):
+// the fetch-timeout fallback must unpark the UE into a Re-Attach rather
+// than leak it.
+TEST(ChaosPendingHandover, FetchHolderDiesWhileParked) {
+  const CpfId target = oracle().primary_cpf_for(UeId{0}, 1);
+  const CpfId source = oracle().primary_cpf_for(UeId{0}, 0);
+  for (const std::int64_t offset_us : {20ll, 120ll, 400ll}) {
+    Schedule s = stale_target_handover();
+    const SimTime hit =
+        SimTime::milliseconds(200) + SimTime::microseconds(offset_us);
+    if (source != target) s.events.push_back(crash_event(hit, source));
+    for (const CpfId b : oracle().backups_for(UeId{0}, 0)) {
+      if (b != target && b != source) s.events.push_back(crash_event(hit, b));
+    }
+    const RunOutcome out = run_everywhere(s);
+    EXPECT_EQ(out.lost, 0u) << "leaked park at offset " << offset_us << "us";
+  }
+}
+
+// The parked CPF itself dies inside the window: the crash clears the park
+// and the CTA's failure handling recovers the in-flight handover; the
+// already-armed fetch-timeout timer must notice the epoch bump and stay
+// quiet instead of commanding a bogus Re-Attach after recovery.
+TEST(ChaosPendingHandover, TargetCrashWhileParked) {
+  const CpfId target = oracle().primary_cpf_for(UeId{0}, 1);
+  for (const std::int64_t offset_us : {20ll, 120ll, 400ll}) {
+    Schedule s = stale_target_handover();
+    s.events.push_back(crash_event(
+        SimTime::milliseconds(200) + SimTime::microseconds(offset_us),
+        target));
+    const RunOutcome out = run_everywhere(s);
+    EXPECT_EQ(out.lost, 0u) << "leaked park at offset " << offset_us << "us";
+  }
 }
 
 // --- Randomized schedules: fixed seeds, all runtimes clean ------------------

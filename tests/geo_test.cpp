@@ -1,11 +1,14 @@
 // Geohash and consistent-hash-ring properties.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <optional>
 #include <set>
 
 #include "common/rng.hpp"
 #include "geo/geohash.hpp"
 #include "geo/hash_ring.hpp"
+#include "geo/region_plan.hpp"
 
 namespace neutrino::geo {
 namespace {
@@ -62,6 +65,90 @@ TEST(Geohash, PrecisionPrefixStability) {
     EXPECT_TRUE(h.starts_with(previous));
     previous = h;
   }
+}
+
+TEST(Geohash, NeighborStepsExactlyOnePitch) {
+  // Stepping one cell in each compass direction lands on a cell that
+  // shares the edge exactly (the pitch is a dyadic fraction of the
+  // lat/lon span, so center + pitch is representable without drift).
+  const std::string h = geohash_encode({31.47, 74.41}, 8);
+  const GeoCell cell = geohash_decode(h);
+  const auto east = geohash_neighbor(h, 0, 1);
+  ASSERT_TRUE(east.has_value());
+  const GeoCell east_cell = geohash_decode(*east);
+  EXPECT_DOUBLE_EQ(east_cell.lon_lo, cell.lon_hi);
+  EXPECT_DOUBLE_EQ(east_cell.lat_lo, cell.lat_lo);
+  const auto north = geohash_neighbor(h, 1, 0);
+  ASSERT_TRUE(north.has_value());
+  const GeoCell north_cell = geohash_decode(*north);
+  EXPECT_DOUBLE_EQ(north_cell.lat_lo, cell.lat_hi);
+  // Inverse steps round-trip to the original hash.
+  EXPECT_EQ(geohash_neighbor(*east, 0, -1).value(), h);
+  EXPECT_EQ(geohash_neighbor(*north, -1, 0).value(), h);
+}
+
+TEST(Geohash, NeighborRingSymmetryOverFullGrid) {
+  // Property over every cell of the full precision-3 world grid (8x8):
+  // ring membership is symmetric (b in ring(a) <=> a in ring(b)) — the
+  // premise of FastHandover's ring replication — and ring sizes are
+  // exactly 8 / 5 / 3 for interior / world-edge / world-corner cells.
+  std::vector<std::string> all;
+  for (char a = '0'; a <= '3'; ++a)
+    for (char b = '0'; b <= '3'; ++b)
+      for (char c = '0'; c <= '3'; ++c) all.push_back({a, b, c});
+  ASSERT_EQ(all.size(), 64u);
+  std::map<std::string, std::set<std::string>> rings;
+  for (const std::string& h : all) {
+    const auto ring = neighbor_ring(h);
+    rings[h] = std::set<std::string>(ring.begin(), ring.end());
+    ASSERT_EQ(rings[h].size(), ring.size()) << "duplicate neighbor of " << h;
+    const GeoCell cell = geohash_decode(h);
+    const int lat_edges =
+        (cell.lat_lo == -90.0 ? 1 : 0) + (cell.lat_hi == 90.0 ? 1 : 0);
+    const int lon_edges =
+        (cell.lon_lo == -180.0 ? 1 : 0) + (cell.lon_hi == 180.0 ? 1 : 0);
+    const std::size_t expect =
+        static_cast<std::size_t>((3 - lat_edges) * (3 - lon_edges) - 1);
+    EXPECT_EQ(ring.size(), expect) << h;
+  }
+  for (const std::string& a : all) {
+    for (const std::string& b : rings[a]) {
+      EXPECT_TRUE(rings[b].contains(a))
+          << a << " lists " << b << " but not vice versa";
+    }
+  }
+}
+
+TEST(RegionPlan, RingNeighborsSymmetricWithCornerEdgeCounts) {
+  // One level-2 quad's grandparent area carves into a 4x4 level-1 grid;
+  // in-plan rings must be symmetric with 3/5/8 members at plan corners /
+  // edges / interior.
+  const GeoCell area = geohash_decode("01");
+  const RegionPlan plan = RegionPlan::from_area(area, 4);
+  ASSERT_EQ(plan.regions().size(), 16u);
+  std::map<std::size_t, int> size_histogram;
+  for (const PlannedRegion& r : plan.regions()) {
+    EXPECT_EQ(plan.index_of(r.geohash), std::optional{r.region_index});
+    const auto ring = plan.ring_neighbors(r.region_index);
+    ++size_histogram[ring.size()];
+    for (const std::uint32_t n : ring) {
+      const auto back = plan.ring_neighbors(n);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), r.region_index) !=
+                  back.end())
+          << r.geohash << " -> " << n << " not symmetric";
+      // Neighbors are geometrically adjacent: centers one pitch apart.
+      const GeoCell& a = r.cell;
+      const GeoCell& b = plan.regions()[n].cell;
+      EXPECT_LE(std::abs(a.center().lat - b.center().lat),
+                (a.lat_hi - a.lat_lo) * 1.0001);
+      EXPECT_LE(std::abs(a.center().lon - b.center().lon),
+                (a.lon_hi - a.lon_lo) * 1.0001);
+    }
+  }
+  EXPECT_EQ(size_histogram[3], 4);  // corners
+  EXPECT_EQ(size_histogram[5], 8);  // edges
+  EXPECT_EQ(size_histogram[8], 4);  // interior
+  EXPECT_FALSE(plan.index_of("0000").has_value());  // not in this plan
 }
 
 TEST(HashRing, LookupIsDeterministic) {
